@@ -1,0 +1,308 @@
+// Benchmark harness regenerating the paper's evaluation (one benchmark per
+// figure) plus the ablations called out in DESIGN.md. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Figure mapping:
+//
+//	BenchmarkProcess/*       → Figure 13 (pTime, per-item processing time)
+//	BenchmarkSpace/*         → Figure 14 (pSpace; reported as peak_words)
+//	BenchmarkDistribution/*  → Figures 5–12 & 15 (stdDevNm / maxDevNm
+//	                           reported as custom metrics; paper-scale run
+//	                           counts need -benchtime)
+//	BenchmarkAdj/*           → Section 6.2 ablation (pruned DFS vs naive)
+//	BenchmarkHash/*          → k-wise vs PRF hashing ablation
+//	BenchmarkWindowProcess/* → sliding-window throughput (extension)
+//	BenchmarkF0/*            → Section 5 estimator (rel_err reported)
+//
+// Absolute numbers depend on hardware; EXPERIMENTS.md records the shape
+// comparison against the paper.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/f0"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/hash"
+	"repro/internal/metrics"
+	"repro/internal/window"
+)
+
+func benchOptions(inst dataset.Instance, seed uint64) core.Options {
+	return core.Options{
+		Alpha:       inst.Alpha,
+		Dim:         inst.Spec.Base.Dim(),
+		StreamBound: len(inst.Points) + 1,
+		Seed:        seed,
+		HighDim:     true,
+	}
+}
+
+// BenchmarkProcess measures per-item processing time of Algorithm 1 on
+// each of the paper's eight datasets (Figure 13).
+func BenchmarkProcess(b *testing.B) {
+	for _, spec := range dataset.AllSpecs() {
+		spec := spec
+		b.Run(spec.Name(), func(b *testing.B) {
+			inst := dataset.Build(spec, 1)
+			s, err := core.NewSampler(benchOptions(inst, 2))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Process(inst.Points[i%len(inst.Points)])
+			}
+		})
+	}
+}
+
+// BenchmarkSpace runs one full stream scan per iteration and reports the
+// peak sketch size in words (Figure 14).
+func BenchmarkSpace(b *testing.B) {
+	for _, spec := range dataset.AllSpecs() {
+		spec := spec
+		b.Run(spec.Name(), func(b *testing.B) {
+			inst := dataset.Build(spec, 1)
+			var peak float64
+			sm := hash.NewSplitMix(3)
+			for i := 0; i < b.N; i++ {
+				s, err := core.NewSampler(benchOptions(inst, sm.Next()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, p := range inst.Points {
+					s.Process(p)
+				}
+				peak += float64(s.PeakSpaceWords())
+			}
+			b.ReportMetric(peak/float64(b.N), "peak_words")
+			b.ReportMetric(0, "ns/op") // wall time is not the point here
+		})
+	}
+}
+
+// BenchmarkDistribution performs one full scan+query per iteration and
+// reports the empirical deviation statistics across all iterations
+// (Figures 5–12 and 15). Increase -benchtime (e.g. -benchtime=200000x)
+// to approach the paper's 200k–500k run counts.
+func BenchmarkDistribution(b *testing.B) {
+	for _, spec := range dataset.AllSpecs() {
+		spec := spec
+		b.Run(spec.Name(), func(b *testing.B) {
+			inst := dataset.Build(spec, 1)
+			ixKeys := make(map[uint64]int, len(inst.Points))
+			for i, p := range inst.Points {
+				ixKeys[baseline.PointKey(p)] = inst.Groups[i]
+			}
+			counts := metrics.NewCounts(inst.NumGroups)
+			sm := hash.NewSplitMix(5)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := core.NewSampler(benchOptions(inst, sm.Next()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, p := range inst.Points {
+					s.Process(p)
+				}
+				q, err := s.Query()
+				if err != nil {
+					continue
+				}
+				g, ok := ixKeys[baseline.PointKey(q)]
+				if !ok {
+					b.Fatal("sample is not a stream point")
+				}
+				counts.Observe(g)
+			}
+			b.StopTimer()
+			if counts.Total() > 0 {
+				b.ReportMetric(counts.StdDevNm(), "stdDevNm")
+				b.ReportMetric(counts.MaxDevNm(), "maxDevNm")
+			}
+		})
+	}
+}
+
+// BenchmarkAdj compares the paper's pruned DFS (Algorithms 6–7) against
+// the naive (2K+1)^d enumeration across dimensions (Section 6.2).
+func BenchmarkAdj(b *testing.B) {
+	for _, d := range []int{2, 5, 8, 12, 20} {
+		d := d
+		g := grid.New(d, float64(d), uint64(d)) // side d·α with α=1
+		pts := make([]geom.Point, 64)
+		sm := hash.NewSplitMix(uint64(d) * 7)
+		for i := range pts {
+			p := make(geom.Point, d)
+			for j := range p {
+				p[j] = float64(sm.Next()%1000) / 25
+			}
+			pts[i] = p
+		}
+		b.Run(fmt.Sprintf("dfs/d=%d", d), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g.Adj(pts[i%len(pts)], 1)
+			}
+		})
+		// The naive enumeration is exponential in d; skip it where it
+		// would take minutes per op.
+		if d <= 12 {
+			b.Run(fmt.Sprintf("naive/d=%d", d), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					g.AdjNaive(pts[i%len(pts)], 1)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkHash compares the Θ(log m)-wise polynomial hash with the PRF.
+func BenchmarkHash(b *testing.B) {
+	kw := hash.NewKWise(42, 1) // 2·log2(2^20)+2
+	prf := hash.NewPRF(1)
+	b.Run("kwise42", func(b *testing.B) {
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			sink ^= kw.Hash(uint64(i))
+		}
+		_ = sink
+	})
+	b.Run("prf", func(b *testing.B) {
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			sink ^= prf.Hash(uint64(i))
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkWindowProcess measures per-item cost of the hierarchical
+// sliding-window sampler (Theorem 2.7's O(log w log m) amortized time).
+func BenchmarkWindowProcess(b *testing.B) {
+	for _, w := range []int64{256, 4096, 65536} {
+		w := w
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			inst := dataset.Build(dataset.Spec{Base: dataset.Seeds, Kind: dataset.DupUniform}, 1)
+			opts := benchOptions(inst, 7)
+			ws, err := core.NewWindowSampler(opts, window.Window{Kind: window.Sequence, W: w})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ws.Process(inst.Points[i%len(inst.Points)])
+			}
+		})
+	}
+}
+
+// BenchmarkF0 measures the Section 5 infinite-window estimator: wall time
+// per full stream and the relative error as a metric.
+func BenchmarkF0(b *testing.B) {
+	for _, spec := range []dataset.Spec{
+		{Base: dataset.Seeds, Kind: dataset.DupUniform},
+		{Base: dataset.Seeds, Kind: dataset.DupPowerLaw},
+	} {
+		spec := spec
+		b.Run(spec.Name(), func(b *testing.B) {
+			inst := dataset.Build(spec, 1)
+			var relSum float64
+			sm := hash.NewSplitMix(9)
+			for i := 0; i < b.N; i++ {
+				m, err := f0.NewMedian(benchOptions(inst, sm.Next()), 0.25, 0, 5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, p := range inst.Points {
+					m.Process(p)
+				}
+				est, err := m.Estimate()
+				if err != nil {
+					b.Fatal(err)
+				}
+				relSum += metrics.RelErr(est, float64(inst.NumGroups))
+			}
+			b.ReportMetric(relSum/float64(b.N), "rel_err")
+		})
+	}
+}
+
+// BenchmarkMerge measures combining two loaded sketches (the distributed
+// setting); BenchmarkSerialize the checkpoint round-trip.
+func BenchmarkMerge(b *testing.B) {
+	inst := dataset.Build(dataset.Spec{Base: dataset.Seeds, Kind: dataset.DupUniform}, 1)
+	opts := benchOptions(inst, 13)
+	mk := func(from, stride int) *core.Sampler {
+		s, err := core.NewSampler(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := from; i < len(inst.Points); i += stride {
+			s.Process(inst.Points[i])
+		}
+		return s
+	}
+	x, y := mk(0, 2), mk(1, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Merge(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerialize(b *testing.B) {
+	inst := dataset.Build(dataset.Spec{Base: dataset.Seeds, Kind: dataset.DupUniform}, 1)
+	s, err := core.NewSampler(benchOptions(inst, 17))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range inst.Points {
+		s.Process(p)
+	}
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(blob)), "sketch_bytes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := s.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.UnmarshalSampler(out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQuery measures query latency on a loaded sketch.
+func BenchmarkQuery(b *testing.B) {
+	inst := dataset.Build(dataset.Spec{Base: dataset.Rand5, Kind: dataset.DupUniform}, 1)
+	s, err := core.NewSampler(benchOptions(inst, 11))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range inst.Points {
+		s.Process(p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Command l0sample streams points and prints robust ℓ0-samples: distinct
+// samples where all points within distance -alpha count as one element.
+//
+// Input is read from -in (or stdin): one point per line, whitespace- or
+// comma-separated coordinates; blank lines and lines starting with '#' are
+// skipped. Alternatively -dataset generates one of the paper's workloads.
+//
+//	l0sample -alpha 0.5 -dim 3 < points.txt
+//	l0sample -dataset rand5 -k 3
+//	l0sample -alpha 0.5 -dim 2 -window 1000 < points.txt
+//
+// With -window W a sliding-window sampler is used and a sample of the last
+// W points is printed at end of stream; otherwise the whole stream is
+// sampled. -k requests k samples without replacement.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/pointio"
+	"repro/internal/window"
+)
+
+func main() {
+	var (
+		alpha   = flag.Float64("alpha", 1, "distance threshold α: points within α are near-duplicates")
+		dim     = flag.Int("dim", 0, "point dimension (required for -in/stdin input)")
+		in      = flag.String("in", "", "input file (default stdin) with one point per line")
+		ds      = flag.String("dataset", "", "generate a paper workload instead of reading input (rand5, yacht-pl, ...)")
+		k       = flag.Int("k", 1, "number of samples without replacement")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		windowW = flag.Int64("window", 0, "sliding window size (0 = infinite window)")
+		highDim = flag.Bool("highdim", true, "use the d·α grid (Section 4); set false for the α/2 grid (Section 2.1)")
+		random  = flag.Bool("random-rep", false, "return a random point of the sampled group instead of its first point")
+	)
+	flag.Parse()
+
+	pts, opts, err := loadInput(*ds, *in, *alpha, *dim, *seed, *highDim, *random, *k)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *windowW > 0 {
+		ws, err := core.NewWindowSampler(opts, window.Window{Kind: window.Sequence, W: *windowW})
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range pts {
+			ws.Process(p)
+		}
+		q, err := ws.Query()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("window sample (last %d of %d points): %v\n", *windowW, len(pts), q)
+		fmt.Printf("space: %d words peak, %d levels\n", ws.PeakSpaceWords(), ws.Levels())
+		return
+	}
+
+	s, err := core.NewSampler(opts)
+	if err != nil {
+		fatal(err)
+	}
+	for _, p := range pts {
+		s.Process(p)
+	}
+	samples, err := s.QueryK(*k)
+	if err != nil {
+		fatal(err)
+	}
+	for i, q := range samples {
+		fmt.Printf("sample %d: %v\n", i+1, q)
+	}
+	fmt.Printf("stream: %d points; sketch: |Sacc|=%d |Srej|=%d R=%d peak=%d words\n",
+		s.Processed(), s.AcceptSize(), s.RejectSize(), s.R(), s.PeakSpaceWords())
+}
+
+func loadInput(ds, in string, alpha float64, dim int, seed uint64, highDim, random bool, k int) ([]geom.Point, core.Options, error) {
+	if ds != "" {
+		spec, err := dataset.SpecByName(ds)
+		if err != nil {
+			return nil, core.Options{}, err
+		}
+		inst := dataset.Build(spec, seed)
+		return inst.Points, core.Options{
+			Alpha:                inst.Alpha,
+			Dim:                  spec.Base.Dim(),
+			StreamBound:          len(inst.Points) + 1,
+			Seed:                 seed,
+			HighDim:              highDim,
+			K:                    k,
+			RandomRepresentative: random,
+		}, nil
+	}
+	if dim < 1 {
+		return nil, core.Options{}, fmt.Errorf("-dim is required when reading points from input")
+	}
+	var r io.Reader = os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, core.Options{}, err
+		}
+		defer f.Close()
+		r = f
+	}
+	pts, err := pointio.ReadPoints(r, dim)
+	if err != nil {
+		return nil, core.Options{}, err
+	}
+	return pts, core.Options{
+		Alpha:                alpha,
+		Dim:                  dim,
+		StreamBound:          len(pts) + 1,
+		Seed:                 seed,
+		HighDim:              highDim,
+		K:                    k,
+		RandomRepresentative: random,
+	}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "l0sample:", err)
+	os.Exit(1)
+}

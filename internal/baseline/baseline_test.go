@@ -1,0 +1,228 @@
+package baseline
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/hash"
+	"repro/internal/window"
+)
+
+func TestPointKeyExactEquality(t *testing.T) {
+	p := geom.Point{1.5, -2.25, 3}
+	if PointKey(p) != PointKey(p.Clone()) {
+		t.Fatal("equal points must share a key")
+	}
+	q := geom.Point{1.5, -2.25, 3.0000001}
+	if PointKey(p) == PointKey(q) {
+		t.Fatal("near-duplicates must NOT share a key (that is the point)")
+	}
+	r := geom.Point{1.5, -2.25}
+	if PointKey(p) == PointKey(r) {
+		t.Fatal("different dimensions must not share a key")
+	}
+}
+
+func TestMinRankUniformOverDistinctKeys(t *testing.T) {
+	// 10 distinct points, each repeated a different number of times. The
+	// min-rank sampler is uniform over distinct *keys* regardless of
+	// repetition counts (exact duplicates hash identically).
+	points := make([]geom.Point, 10)
+	for i := range points {
+		points[i] = geom.Point{float64(i), 0}
+	}
+	counts := make([]int, 10)
+	const runs = 20000
+	sm := hash.NewSplitMix(99)
+	for r := 0; r < runs; r++ {
+		m := NewMinRank(sm.Next())
+		for i, p := range points {
+			for rep := 0; rep <= i*3; rep++ { // wildly uneven repetition
+				m.Process(p)
+			}
+		}
+		got, err := m.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[int(got[0])]++
+	}
+	for i, c := range counts {
+		f := float64(c) / runs
+		if math.Abs(f-0.1) > 0.02 {
+			t.Errorf("point %d sampled with frequency %.3f, want ≈0.1", i, f)
+		}
+	}
+}
+
+func TestMinRankBiasedOnNearDuplicates(t *testing.T) {
+	// Two groups: group 0 has 99 near-duplicates, group 1 has 1 point. The
+	// min-rank sampler picks group 0 with probability ≈ 99/100 — the bias
+	// the paper's robust sampler eliminates.
+	rng := rand.New(rand.NewPCG(5, 6))
+	var stream []geom.Point
+	for i := 0; i < 99; i++ {
+		stream = append(stream, geom.Point{rng.Float64() * 1e-6, 0})
+	}
+	stream = append(stream, geom.Point{100, 0})
+	group0 := 0
+	const runs = 5000
+	sm := hash.NewSplitMix(123)
+	for r := 0; r < runs; r++ {
+		m := NewMinRank(sm.Next())
+		for _, p := range stream {
+			m.Process(p)
+		}
+		got, _ := m.Query()
+		if got[0] < 50 {
+			group0++
+		}
+	}
+	f := float64(group0) / runs
+	if f < 0.95 {
+		t.Fatalf("min-rank sampled the heavy group with frequency %.3f, expected ≈0.99", f)
+	}
+}
+
+func TestMinRankEmpty(t *testing.T) {
+	if _, err := NewMinRank(1).Query(); err != ErrEmpty {
+		t.Fatal("expected ErrEmpty")
+	}
+}
+
+func TestWindowMinRankWindowCorrectness(t *testing.T) {
+	// The returned sample must always be a point of the current window.
+	win := window.Window{Kind: window.Sequence, W: 10}
+	w, err := NewWindowMinRank(win, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 200; i++ {
+		w.Process(geom.Point{float64(i)}, i)
+		got, err := w.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := int64(got[0])
+		if idx <= i-10 || idx > i {
+			t.Fatalf("at time %d sample %d is outside the window", i, idx)
+		}
+	}
+}
+
+func TestWindowMinRankSkylineSmall(t *testing.T) {
+	win := window.Window{Kind: window.Sequence, W: 1000}
+	w, _ := NewWindowMinRank(win, 11)
+	for i := int64(1); i <= 5000; i++ {
+		w.Process(geom.Point{float64(i)}, i)
+	}
+	// Expected skyline size is O(log w) ≈ 7; allow generous slack.
+	if w.Size() > 40 {
+		t.Fatalf("skyline size %d, want O(log w)", w.Size())
+	}
+}
+
+func TestWindowMinRankUniformOverWindow(t *testing.T) {
+	// Over many hash seeds, each of the w distinct in-window keys should
+	// be sampled ≈ uniformly.
+	const w = 20
+	win := window.Window{Kind: window.Sequence, W: w}
+	counts := make([]int, w)
+	const runs = 20000
+	sm := hash.NewSplitMix(31)
+	for r := 0; r < runs; r++ {
+		wm, _ := NewWindowMinRank(win, sm.Next())
+		for i := int64(1); i <= 50; i++ {
+			wm.Process(geom.Point{float64(i)}, i)
+		}
+		got, _ := wm.Query()
+		counts[int(got[0])-31]++ // window is items 31..50
+	}
+	for i, c := range counts {
+		f := float64(c) / runs
+		if math.Abs(f-1.0/w) > 0.015 {
+			t.Errorf("window slot %d frequency %.4f, want ≈%.4f", i, f, 1.0/w)
+		}
+	}
+}
+
+func TestReservoirUniform(t *testing.T) {
+	const n, runs = 25, 30000
+	counts := make([]int, n)
+	sm := hash.NewSplitMix(17)
+	for r := 0; r < runs; r++ {
+		res := NewReservoir(1, sm.Next())
+		for i := 0; i < n; i++ {
+			res.Process(geom.Point{float64(i)})
+		}
+		counts[int(res.Sample()[0][0])]++
+	}
+	for i, c := range counts {
+		f := float64(c) / runs
+		if math.Abs(f-1.0/n) > 0.01 {
+			t.Errorf("reservoir item %d frequency %.4f, want %.4f", i, f, 1.0/n)
+		}
+	}
+}
+
+func TestReservoirK(t *testing.T) {
+	res := NewReservoir(5, 3)
+	for i := 0; i < 3; i++ {
+		res.Process(geom.Point{float64(i)})
+	}
+	if len(res.Sample()) != 3 {
+		t.Fatalf("reservoir with fewer items than k: %d", len(res.Sample()))
+	}
+	for i := 3; i < 100; i++ {
+		res.Process(geom.Point{float64(i)})
+	}
+	if len(res.Sample()) != 5 {
+		t.Fatalf("reservoir size %d, want 5", len(res.Sample()))
+	}
+	if res.Seen() != 100 {
+		t.Fatalf("Seen = %d", res.Seen())
+	}
+}
+
+func TestWindowReservoirWindowCorrectness(t *testing.T) {
+	win := window.Window{Kind: window.Sequence, W: 8}
+	wr, err := NewWindowReservoir(win, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 300; i++ {
+		wr.Process(geom.Point{float64(i)}, i)
+		got, err := wr.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := int64(got[0])
+		if idx <= i-8 || idx > i {
+			t.Fatalf("at time %d sample %d outside window", i, idx)
+		}
+	}
+}
+
+func TestWindowReservoirUniform(t *testing.T) {
+	const w = 16
+	win := window.Window{Kind: window.Sequence, W: w}
+	counts := make([]int, w)
+	const runs = 20000
+	sm := hash.NewSplitMix(77)
+	for r := 0; r < runs; r++ {
+		wr, _ := NewWindowReservoir(win, sm.Next())
+		for i := int64(1); i <= 40; i++ {
+			wr.Process(geom.Point{float64(i)}, i)
+		}
+		got, _ := wr.Query()
+		counts[int(got[0])-25]++ // window is 25..40
+	}
+	for i, c := range counts {
+		f := float64(c) / runs
+		if math.Abs(f-1.0/w) > 0.015 {
+			t.Errorf("slot %d frequency %.4f, want %.4f", i, f, 1.0/w)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/window"
+)
+
+// ExpHistogram is the exponential histogram of Datar, Gionis, Indyk and
+// Motwani [16] for basic counting over a sliding window: maintain buckets
+// of sizes 1,1,...,2,2,...,4,... (at most k/2+2 buckets per size), merging
+// the two oldest buckets of a size when the bound is exceeded. The count of
+// ones in the window is estimated as (total of full buckets) + half the
+// oldest (partially expired) bucket, giving relative error ≤ 1/k with
+// O(k·log²w) bits.
+//
+// The paper's Remark 1 contrasts its hierarchical window sampler with this
+// structure; it is included both as the reference point for that remark and
+// as a generally useful sliding-window substrate.
+type ExpHistogram struct {
+	win window.Window
+	k   int
+	// buckets in order from newest (index 0) to oldest; each holds the
+	// stamp of its most recent 1 and its size (a power of two).
+	buckets []ehBucket
+	now     int64
+}
+
+type ehBucket struct {
+	stamp int64
+	size  int64
+}
+
+// NewExpHistogram builds an exponential histogram with error parameter
+// 1/k (k ≥ 1).
+func NewExpHistogram(win window.Window, k int) (*ExpHistogram, error) {
+	if err := win.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: ExpHistogram k must be ≥ 1, got %d", k)
+	}
+	return &ExpHistogram{win: win, k: k}, nil
+}
+
+// Observe records a bit at the given stamp (non-decreasing). Zeros only
+// advance time; ones create a new bucket.
+func (eh *ExpHistogram) Observe(one bool, stamp int64) {
+	if stamp > eh.now {
+		eh.now = stamp
+	}
+	eh.expire()
+	if !one {
+		return
+	}
+	eh.buckets = append([]ehBucket{{stamp: stamp, size: 1}}, eh.buckets...)
+	eh.canonicalize()
+}
+
+// expire drops buckets whose most recent 1 has left the window.
+func (eh *ExpHistogram) expire() {
+	for len(eh.buckets) > 0 {
+		last := eh.buckets[len(eh.buckets)-1]
+		if !eh.win.Expired(last.stamp, eh.now) {
+			return
+		}
+		eh.buckets = eh.buckets[:len(eh.buckets)-1]
+	}
+}
+
+// canonicalize merges oldest-pairs whenever more than k/2+2 buckets of one
+// size exist, cascading to larger sizes.
+func (eh *ExpHistogram) canonicalize() {
+	maxPerSize := eh.k/2 + 2
+	size := int64(1)
+	for {
+		// Find the run of buckets with this size; buckets are ordered
+		// newest→oldest and sizes are non-decreasing in that order.
+		first, count := -1, 0
+		for i, b := range eh.buckets {
+			if b.size == size {
+				if first < 0 {
+					first = i
+				}
+				count++
+			} else if b.size > size {
+				break
+			}
+		}
+		if count <= maxPerSize {
+			return
+		}
+		// Merge the two oldest buckets of this size (the last two of the
+		// run): the merged bucket keeps the newer of the two stamps, which
+		// is the stamp at index first+count-2.
+		i := first + count - 2
+		eh.buckets[i].size = 2 * size
+		eh.buckets = append(eh.buckets[:i+1], eh.buckets[i+2:]...)
+		size *= 2
+	}
+}
+
+// Buckets returns the current number of buckets (space diagnostics).
+func (eh *ExpHistogram) Buckets() int { return len(eh.buckets) }
+
+// Estimate returns the estimated number of ones in the window ending at
+// the latest observed stamp: all full buckets plus half the oldest bucket.
+func (eh *ExpHistogram) Estimate() int64 {
+	eh.expire()
+	if len(eh.buckets) == 0 {
+		return 0
+	}
+	var total int64
+	for _, b := range eh.buckets {
+		total += b.size
+	}
+	oldest := eh.buckets[len(eh.buckets)-1].size
+	return total - oldest + (oldest+1)/2
+}

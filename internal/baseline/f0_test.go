@@ -1,0 +1,237 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/hash"
+	"repro/internal/window"
+)
+
+func TestKMVExactBelowK(t *testing.T) {
+	s := NewKMV(64, 1)
+	for i := 0; i < 30; i++ {
+		s.ProcessKey(uint64(i))
+		s.ProcessKey(uint64(i)) // duplicates must not count
+	}
+	if est := s.Estimate(); est != 30 {
+		t.Fatalf("KMV below k: estimate %g, want exactly 30", est)
+	}
+}
+
+func TestKMVAccuracy(t *testing.T) {
+	s := NewKMV(256, 2)
+	const truth = 20000
+	for i := 0; i < truth; i++ {
+		s.ProcessKey(uint64(i) * 2654435761)
+	}
+	est := s.Estimate()
+	if math.Abs(est-truth)/truth > 0.15 {
+		t.Fatalf("KMV estimate %g for truth %d", est, truth)
+	}
+}
+
+func TestKMVDuplicateInsensitive(t *testing.T) {
+	a := NewKMV(128, 3)
+	b := NewKMV(128, 3)
+	for i := 0; i < 1000; i++ {
+		a.ProcessKey(uint64(i))
+		b.ProcessKey(uint64(i))
+		b.ProcessKey(uint64(i))
+		b.ProcessKey(uint64(i))
+	}
+	if a.Estimate() != b.Estimate() {
+		t.Fatal("duplicates changed the KMV estimate")
+	}
+}
+
+func TestKMVPointInterface(t *testing.T) {
+	s := NewKMV(32, 4)
+	s.Process(geom.Point{1, 2})
+	s.Process(geom.Point{1, 2})
+	s.Process(geom.Point{3, 4})
+	if est := s.Estimate(); est != 2 {
+		t.Fatalf("estimate %g, want 2", est)
+	}
+}
+
+func TestFMEstimateOrder(t *testing.T) {
+	// A single FM counter is coarse (powers of two); check the group
+	// average gets within a factor 1.5 of the truth.
+	g := NewFMGroup(64, 5)
+	const truth = 5000
+	for i := 0; i < truth; i++ {
+		g.Process(geom.Point{float64(i), 1})
+	}
+	est := g.Estimate()
+	if est < truth/1.5 || est > truth*1.5 {
+		t.Fatalf("FM group estimate %g for truth %d", est, truth)
+	}
+}
+
+func TestFMZMonotone(t *testing.T) {
+	f := NewFM(6)
+	prev := 0
+	for i := 0; i < 100000; i++ {
+		f.ProcessKey(uint64(i))
+		if z := f.Z(); z < prev {
+			t.Fatal("Z decreased")
+		} else {
+			prev = z
+		}
+	}
+	if prev < 10 {
+		t.Fatalf("Z = %d after 1e5 keys, want ≈ log2(1e5) ≈ 17", prev)
+	}
+}
+
+func TestHyperLogLogAccuracy(t *testing.T) {
+	h := NewHyperLogLog(10, 7) // 1024 registers → ~3.2% standard error
+	const truth = 50000
+	for i := 0; i < truth; i++ {
+		h.ProcessKey(uint64(i)*0x9e3779b97f4a7c15 + 12345)
+	}
+	est := h.Estimate()
+	if math.Abs(est-truth)/truth > 0.12 {
+		t.Fatalf("HLL estimate %g for truth %d", est, truth)
+	}
+}
+
+func TestHyperLogLogSmallRange(t *testing.T) {
+	h := NewHyperLogLog(8, 8)
+	for i := 0; i < 100; i++ {
+		h.ProcessKey(uint64(i))
+	}
+	est := h.Estimate()
+	if math.Abs(est-100)/100 > 0.2 {
+		t.Fatalf("HLL small-range estimate %g for truth 100", est)
+	}
+}
+
+func TestHyperLogLogDuplicateInsensitive(t *testing.T) {
+	a := NewHyperLogLog(8, 9)
+	b := NewHyperLogLog(8, 9)
+	for i := 0; i < 2000; i++ {
+		a.ProcessKey(uint64(i))
+		for r := 0; r < 3; r++ {
+			b.ProcessKey(uint64(i))
+		}
+	}
+	if a.Estimate() != b.Estimate() {
+		t.Fatal("duplicates changed HLL estimate")
+	}
+}
+
+func TestLinearCountingAccuracy(t *testing.T) {
+	lc := NewLinearCounting(100000, 10)
+	const truth = 8000
+	for i := 0; i < truth; i++ {
+		lc.ProcessKey(uint64(i) * 11400714819323198485)
+	}
+	est := lc.Estimate()
+	if math.Abs(est-truth)/truth > 0.05 {
+		t.Fatalf("linear counting estimate %g for truth %d", est, truth)
+	}
+}
+
+func TestLinearCountingSaturation(t *testing.T) {
+	lc := NewLinearCounting(64, 11)
+	for i := 0; i < 100000; i++ {
+		lc.ProcessKey(uint64(i))
+	}
+	if est := lc.Estimate(); est != 64 {
+		t.Fatalf("saturated bitmap estimate %g, want m=64", est)
+	}
+}
+
+func TestExpHistogramExact(t *testing.T) {
+	// With a huge k the histogram is effectively exact.
+	win := window.Window{Kind: window.Sequence, W: 50}
+	eh, err := NewExpHistogram(win, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 200; i++ {
+		eh.Observe(i%3 == 0, i)
+	}
+	// Ones in window (151..200): multiples of 3 in that range.
+	var truth int64
+	for i := int64(151); i <= 200; i++ {
+		if i%3 == 0 {
+			truth++
+		}
+	}
+	got := eh.Estimate()
+	if math.Abs(float64(got-truth)) > 1 {
+		t.Fatalf("EH estimate %d, want ≈%d", got, truth)
+	}
+}
+
+func TestExpHistogramRelativeError(t *testing.T) {
+	// Error bound: relative error ≤ 1/k against the true window count.
+	win := window.Window{Kind: window.Sequence, W: 1000}
+	const k = 8
+	eh, _ := NewExpHistogram(win, k)
+	sm := hash.NewSplitMix(13)
+	var live []int64 // stamps of ones
+	for i := int64(1); i <= 20000; i++ {
+		one := sm.Next()%2 == 0
+		eh.Observe(one, i)
+		if one {
+			live = append(live, i)
+		}
+		if i%500 == 0 {
+			var truth int64
+			for _, s := range live {
+				if !win.Expired(s, i) {
+					truth++
+				}
+			}
+			got := eh.Estimate()
+			if truth > 0 {
+				rel := math.Abs(float64(got-truth)) / float64(truth)
+				if rel > 1.0/k+0.05 {
+					t.Fatalf("at %d: EH estimate %d vs truth %d (rel %.3f > 1/%d)", i, got, truth, rel, k)
+				}
+			}
+		}
+	}
+}
+
+func TestExpHistogramSpace(t *testing.T) {
+	win := window.Window{Kind: window.Sequence, W: 100000}
+	const k = 4
+	eh, _ := NewExpHistogram(win, k)
+	for i := int64(1); i <= 200000; i++ {
+		eh.Observe(true, i)
+	}
+	// Bucket count is O(k log w) ≈ (k/2+2)·log2(w) ≈ 68.
+	if eh.Buckets() > 120 {
+		t.Fatalf("EH bucket count %d, want O(k log w)", eh.Buckets())
+	}
+}
+
+func TestExpHistogramEmptyAndExpiry(t *testing.T) {
+	win := window.Window{Kind: window.Sequence, W: 10}
+	eh, _ := NewExpHistogram(win, 4)
+	if eh.Estimate() != 0 {
+		t.Fatal("empty EH must estimate 0")
+	}
+	eh.Observe(true, 1)
+	for i := int64(2); i <= 100; i++ {
+		eh.Observe(false, i)
+	}
+	if got := eh.Estimate(); got != 0 {
+		t.Fatalf("all ones expired but estimate = %d", got)
+	}
+}
+
+func TestExpHistogramValidation(t *testing.T) {
+	if _, err := NewExpHistogram(window.Window{Kind: window.Sequence, W: 0}, 4); err == nil {
+		t.Error("expected error for bad window")
+	}
+	if _, err := NewExpHistogram(window.Window{Kind: window.Sequence, W: 10}, 0); err == nil {
+		t.Error("expected error for k=0")
+	}
+}

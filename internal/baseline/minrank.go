@@ -1,0 +1,82 @@
+// Package baseline implements the noiseless-data algorithms the paper
+// compares against or builds on conceptually:
+//
+//   - MinRank: the folklore min-rank ℓ0-sampler for exact duplicates. On
+//     noisy data it is biased toward heavily duplicated elements — the
+//     paper's Section 1 motivation, reproduced by the "bias" experiment.
+//   - WindowMinRank: the sliding-window ℓ0-sampler obtained by running the
+//     Babcock–Datar–Motwani priority scheme with hash ranks ([6] + a random
+//     hash, as described in the paper's Related Work).
+//   - Reservoir and WindowReservoir: uniform random sampling (Vitter [35];
+//     Braverman–Ostrovsky–Zaniolo-style priority sampling [8]), used by the
+//     Section 2.3 random-representative augmentation.
+//   - KMV, FM, HyperLogLog, LinearCounting: classic F0 estimators for
+//     noiseless streams.
+//   - ExpHistogram: the Datar–Gionis–Indyk–Motwani exponential histogram
+//     for basic counting over sliding windows, the structure Remark 1
+//     contrasts the hierarchical sampler with.
+//
+// None of these treats near-duplicates as one element; that is precisely
+// the gap the core package closes.
+package baseline
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/hash"
+)
+
+// ErrEmpty is returned by queries on empty sketches.
+var ErrEmpty = errors.New("baseline: empty sketch")
+
+// PointKey encodes a point's exact coordinates into a 64-bit key by mixing
+// the IEEE-754 bit patterns. Exactly equal points (and only those, up to
+// 64-bit mixing collisions) share a key — the "noiseless" notion of
+// identity that breaks down on near-duplicates.
+func PointKey(p geom.Point) uint64 {
+	acc := uint64(len(p)) * 0x9e3779b97f4a7c15
+	var buf [8]byte
+	for _, v := range p {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		acc = hash.Mix64(acc ^ binary.LittleEndian.Uint64(buf[:]))
+	}
+	return acc
+}
+
+// MinRank is the folklore ℓ0-sampler for exact-duplicate streams: hash
+// every item to a rank uniform in [0,1) and keep the item with the minimum
+// rank. Each *distinct key* is equally likely to own the minimum, so the
+// sample is uniform over distinct keys — but near-duplicates get distinct
+// keys, so groups are hit proportionally to their duplicate counts.
+type MinRank struct {
+	h    hash.Func
+	best geom.Point
+	rank uint64
+	seen bool
+}
+
+// NewMinRank builds a min-rank sampler with the given seed.
+func NewMinRank(seed uint64) *MinRank {
+	return &MinRank{h: hash.NewPRF(seed), rank: math.MaxUint64}
+}
+
+// Process feeds the next point.
+func (m *MinRank) Process(p geom.Point) {
+	r := m.h.Hash(PointKey(p))
+	if !m.seen || r < m.rank {
+		m.best = p.Clone()
+		m.rank = r
+		m.seen = true
+	}
+}
+
+// Query returns the current sample: the minimum-rank point seen.
+func (m *MinRank) Query() (geom.Point, error) {
+	if !m.seen {
+		return nil, ErrEmpty
+	}
+	return m.best, nil
+}

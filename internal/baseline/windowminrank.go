@@ -1,0 +1,86 @@
+package baseline
+
+import (
+	"container/list"
+
+	"repro/internal/geom"
+	"repro/internal/hash"
+	"repro/internal/window"
+)
+
+// WindowMinRank is the sliding-window ℓ0-sampler for exact-duplicate
+// streams: each item gets a hash rank, and the sample for the current
+// window is the minimum-rank non-expired item. Following the classic
+// priority-sampling scheme (Babcock–Datar–Motwani [6] with hash ranks, as
+// the paper's Related Work describes), it keeps only the "skyline" of
+// items that could still become the minimum: those with no later item of
+// smaller rank. The skyline has expected size O(log w) for distinct keys.
+//
+// Like MinRank, it treats near-duplicates as distinct elements and is
+// therefore biased on noisy data.
+type WindowMinRank struct {
+	h   hash.Func
+	win window.Window
+	// skyline holds (stamp, rank, point) in arrival order; ranks strictly
+	// increase from back to front (the front is the oldest and currently
+	// minimal-rank item).
+	skyline *list.List
+	now     int64
+}
+
+type wmrItem struct {
+	stamp int64
+	rank  uint64
+	p     geom.Point
+}
+
+// NewWindowMinRank builds the sampler for the given window semantics.
+func NewWindowMinRank(win window.Window, seed uint64) (*WindowMinRank, error) {
+	if err := win.Validate(); err != nil {
+		return nil, err
+	}
+	return &WindowMinRank{
+		h:       hash.NewPRF(seed),
+		win:     win,
+		skyline: list.New(),
+	}, nil
+}
+
+// Process feeds the next point with its stamp (arrival index or
+// timestamp; non-decreasing).
+func (w *WindowMinRank) Process(p geom.Point, stamp int64) {
+	if stamp > w.now {
+		w.now = stamp
+	}
+	// Expire from the front.
+	for el := w.skyline.Front(); el != nil; el = w.skyline.Front() {
+		if w.win.Expired(el.Value.(*wmrItem).stamp, w.now) {
+			w.skyline.Remove(el)
+		} else {
+			break
+		}
+	}
+	// Remove dominated items from the back: anything with rank ≥ the new
+	// item's rank can never again be the window minimum.
+	r := w.h.Hash(PointKey(p))
+	for el := w.skyline.Back(); el != nil; el = w.skyline.Back() {
+		if el.Value.(*wmrItem).rank >= r {
+			w.skyline.Remove(el)
+		} else {
+			break
+		}
+	}
+	w.skyline.PushBack(&wmrItem{stamp: stamp, rank: r, p: p.Clone()})
+}
+
+// Size returns the skyline size (for space diagnostics).
+func (w *WindowMinRank) Size() int { return w.skyline.Len() }
+
+// Query returns the minimum-rank point in the current window.
+func (w *WindowMinRank) Query() (geom.Point, error) {
+	front := w.skyline.Front()
+	if front == nil {
+		return nil, ErrEmpty
+	}
+	return front.Value.(*wmrItem).p, nil
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/geom"
+)
+
+// ConcurrentSampler wraps a Sampler for concurrent use: Process and the
+// query methods may be called from multiple goroutines. A single mutex
+// suffices because Process is sub-microsecond; for higher ingest rates,
+// shard the stream over independent samplers with the same Options and
+// combine them with Merge.
+type ConcurrentSampler struct {
+	mu sync.Mutex
+	s  *Sampler
+}
+
+// NewConcurrentSampler constructs a thread-safe Algorithm 1 sampler.
+func NewConcurrentSampler(opts Options) (*ConcurrentSampler, error) {
+	s, err := NewSampler(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ConcurrentSampler{s: s}, nil
+}
+
+// Process feeds the next stream point.
+func (c *ConcurrentSampler) Process(p geom.Point) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.Process(p)
+}
+
+// Query returns a robust ℓ0-sample; see Sampler.Query.
+func (c *ConcurrentSampler) Query() (geom.Point, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Query()
+}
+
+// QueryK returns k samples without replacement; see Sampler.QueryK.
+func (c *ConcurrentSampler) QueryK(k int) ([]geom.Point, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.QueryK(k)
+}
+
+// Snapshot serializes the current sketch (see Sampler.MarshalBinary)
+// without blocking other operations longer than the encode takes.
+func (c *ConcurrentSampler) Snapshot() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.MarshalBinary()
+}
+
+// Stats returns the basic counters atomically.
+func (c *ConcurrentSampler) Stats() (processed int64, acc, rej int, r uint64, peakWords int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Processed(), c.s.AcceptSize(), c.s.RejectSize(), c.s.R(), c.s.PeakSpaceWords()
+}

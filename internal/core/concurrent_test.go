@@ -1,0 +1,52 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestConcurrentSampler(t *testing.T) {
+	cs, err := NewConcurrentSampler(Options{Alpha: 1, Dim: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 goroutines feeding disjoint group ranges plus concurrent queries;
+	// run under -race this verifies the locking.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				x := float64(g*50+(i%25)) * 10
+				cs.Process(geom.Point{x, float64(i%3) * 0.1})
+				if i%17 == 0 {
+					cs.Query() // error is fine early on; must not race
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	processed, acc, rej, r, peak := cs.Stats()
+	if processed != 8*200 {
+		t.Fatalf("processed %d, want 1600", processed)
+	}
+	if acc == 0 || r == 0 || peak == 0 {
+		t.Fatalf("implausible stats: acc=%d rej=%d r=%d peak=%d", acc, rej, r, peak)
+	}
+	if _, err := cs.Query(); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := cs.QueryK(3); err != nil || len(got) == 0 {
+		t.Fatalf("QueryK: %v %v", got, err)
+	}
+	blob, err := cs.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalSampler(blob); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// entry is the stored state for one candidate group: its representative
+// point, the representative's cell and cached adjacency list, the current
+// accept/reject classification, and the optional reservoir augmentation
+// that tracks a uniformly random point of the group.
+type entry struct {
+	rep      geom.Point     // representative point of the group
+	cell     grid.CellKey   // cell(rep)
+	adj      []grid.CellKey // cached adj(rep): cells within α of rep
+	accepted bool           // true → Sacc, false → Srej
+	stamp    int64          // arrival index (or timestamp) of rep
+
+	// Reservoir augmentation (Section 2.3): count points seen in this
+	// group and keep a uniform pick among them.
+	count int64
+	pick  geom.Point
+
+	// Sliding-window state (Algorithm 2): the latest point of the group
+	// and its stamp; the pair (rep, last) is the (u, p) ∈ A of the paper.
+	last      geom.Point
+	lastStamp int64
+
+	// wres is the per-group window reservoir used when
+	// RandomRepresentative is set on a windowed sampler (Section 2.3
+	// suggests swapping reservoir sampling for a sliding-window sampler
+	// [8]): a priority skyline over the group's in-window points. Each
+	// point draws a random priority; the skyline keeps points not
+	// dominated by a later higher-priority point, so the maximum-priority
+	// non-expired point — a uniform sample of the group's window points —
+	// is always at the front. Expected size O(log w).
+	wres []windowPick
+}
+
+type windowPick struct {
+	stamp int64
+	prio  uint64
+	p     geom.Point
+}
+
+// observeWindowPick records a group point into the window reservoir.
+func (e *entry) observeWindowPick(p geom.Point, stamp int64, prio uint64) {
+	for len(e.wres) > 0 && e.wres[len(e.wres)-1].prio <= prio {
+		e.wres = e.wres[:len(e.wres)-1]
+	}
+	e.wres = append(e.wres, windowPick{stamp: stamp, prio: prio, p: p})
+}
+
+// windowPickAt returns a uniform random in-window point of the group (the
+// maximum-priority non-expired reservoir item), trimming expired items.
+// It falls back to the group's latest point when the reservoir is empty.
+func (e *entry) windowPickAt(expired func(stamp int64) bool) geom.Point {
+	i := 0
+	for i < len(e.wres) && expired(e.wres[i].stamp) {
+		i++
+	}
+	e.wres = e.wres[i:]
+	if len(e.wres) == 0 {
+		return e.last
+	}
+	return e.wres[0].p
+}
+
+// words returns the number of machine words this entry occupies in the
+// sketch, reproducing the paper's pSpace accounting: d words per stored
+// point, one word per cell key, flags/counters/stamps one word each.
+func (e *entry) words(reservoir, windowed bool) int {
+	w := len(e.rep) + 1 + len(e.adj) + 1 + 1 // rep + cell + adj + accepted + stamp
+	if reservoir {
+		w += len(e.pick) + 1 // pick + count
+		for _, wp := range e.wres {
+			w += len(wp.p) + 2 // point + stamp + priority
+		}
+	}
+	if windowed {
+		w += len(e.last) + 1 // last + lastStamp
+	}
+	return w
+}
+
+// observeDuplicate updates per-group state when a new point p of this
+// group arrives: the reservoir pick (uniform over the group's points) and,
+// for windowed samplers, the last-point pair.
+func (e *entry) observeDuplicate(p geom.Point, stamp int64, rng *rand.Rand, windowed bool) {
+	e.count++
+	if rng != nil && rng.Int64N(e.count) == 0 {
+		e.pick = p
+	}
+	if windowed {
+		e.last = p
+		e.lastStamp = stamp
+	}
+}
+
+// cellIndex maps cell keys to the entries whose representative lies in
+// that cell. Because each cell intersects at most one group for
+// well-separated data (Fact 1a), buckets almost always hold one entry; the
+// slice form keeps general datasets correct.
+type cellIndex map[grid.CellKey][]*entry
+
+func (ix cellIndex) add(e *entry) {
+	ix[e.cell] = append(ix[e.cell], e)
+}
+
+func (ix cellIndex) remove(e *entry) {
+	bucket := ix[e.cell]
+	for i, x := range bucket {
+		if x == e {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(ix, e.cell)
+	} else {
+		ix[e.cell] = bucket
+	}
+}
+
+// findGroup returns the stored entry whose representative is a
+// near-duplicate of p, or nil. Only the buckets of adjKeys — adj(p) — are
+// probed: in the Euclidean space any u with d(u,p) ≤ α satisfies
+// d(p, cell(u)) ≤ α, so cell(u) ∈ adj(p); custom Spaces must provide the
+// analogous completeness in Adjacent.
+func (ix cellIndex) findGroup(p geom.Point, adjKeys []grid.CellKey, spc Space) *entry {
+	for _, c := range adjKeys {
+		for _, e := range ix[c] {
+			if spc.SameGroup(e.rep, p) {
+				return e
+			}
+		}
+	}
+	return nil
+}
+
+// spaceMeter tracks live sketch words and their peak, reproducing the
+// paper's pSpace measurement ("peak space usage throughout the streaming
+// process; measured by word").
+type spaceMeter struct {
+	live int
+	peak int
+}
+
+func (s *spaceMeter) add(w int) {
+	s.live += w
+	if s.live > s.peak {
+		s.peak = s.live
+	}
+}
+
+func (s *spaceMeter) sub(w int) { s.live -= w }
+
+// Live returns the current number of sketch words.
+func (s *spaceMeter) Live() int { return s.live }
+
+// Peak returns the maximum number of sketch words held at any time.
+func (s *spaceMeter) Peak() int { return s.peak }

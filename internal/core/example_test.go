@@ -1,0 +1,72 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/window"
+)
+
+// ExampleSampler demonstrates basic robust ℓ0-sampling: three entities
+// with very different duplicate counts are sampled by identity, not by
+// volume.
+func ExampleSampler() {
+	s, err := core.NewSampler(core.Options{Alpha: 1, Dim: 2, Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	// Entity A at (0,0) appears 3 times with jitter; entity B once.
+	for _, p := range []geom.Point{
+		{0, 0}, {0.2, 0.1}, {0.1, -0.2}, // three near-duplicates of A
+		{50, 50}, // B
+	} {
+		s.Process(p)
+	}
+	sample, err := s.Query()
+	if err != nil {
+		panic(err)
+	}
+	// The sample is one of the two entities' first points.
+	fmt.Println(sample.Equal(geom.Point{0, 0}) || sample.Equal(geom.Point{50, 50}))
+	fmt.Println("distinct entities tracked:", s.AcceptSize()+s.RejectSize())
+	// Output:
+	// true
+	// distinct entities tracked: 2
+}
+
+// ExampleWindowSampler samples among the entities of the last w points
+// only.
+func ExampleWindowSampler() {
+	ws, err := core.NewWindowSampler(core.Options{Alpha: 1, Dim: 2, Seed: 7},
+		window.Window{Kind: window.Sequence, W: 2})
+	if err != nil {
+		panic(err)
+	}
+	ws.Process(geom.Point{0, 0})   // expires after two more points
+	ws.Process(geom.Point{50, 50}) // in window
+	ws.Process(geom.Point{50, 51}) // same entity as previous, in window
+	sample, err := ws.Query()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sample[0] == 50) // the expired entity at (0,0) cannot be returned
+	// Output:
+	// true
+}
+
+// ExampleMerge combines sketches of two stream shards.
+func ExampleMerge() {
+	opts := core.Options{Alpha: 1, Dim: 2, Seed: 3}
+	a, _ := core.NewSampler(opts)
+	b, _ := core.NewSampler(opts)
+	a.Process(geom.Point{0, 0})
+	b.Process(geom.Point{50, 50})
+	m, err := core.Merge(a, b)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("groups in union:", m.AcceptSize()+m.RejectSize())
+	// Output:
+	// groups in union: 2
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"container/list"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/hash"
+	"repro/internal/window"
+)
+
+// FixedWindow is Algorithm 2: a sliding-window robust ℓ0-sampler with a
+// fixed cell sample rate 1/R. Besides the accept and reject sets it
+// maintains, for every candidate group, the pair (u, p) of the group's
+// representative u and latest point p — the paper's key-value store A. The
+// representative of a group in a window is the latest point u of the group
+// such that the window ending right at u contains no earlier point of the
+// group (Observation 1); representatives are stream-determined and
+// independent of the hash function.
+//
+// Each group's entry expires when the group's latest point leaves the
+// window. Space is O(#candidate groups in window / 1) with no sub-linear
+// guarantee — the paper uses FixedWindow only as the per-level building
+// block of WindowSampler, which caps each level at O(log m) entries. A
+// standalone FixedWindow is still useful for small windows and for testing.
+type FixedWindow struct {
+	opts Options
+	win  window.Window
+	spc  Space
+	ls   *hash.LevelSampler
+	rng  *rand.Rand
+	r    uint64
+
+	index  cellIndex
+	order  *list.List // *entry in ascending lastStamp order (front = oldest)
+	elem   map[*entry]*list.Element
+	numAcc int
+	space  spaceMeter
+	now    int64
+
+	// matchOnly disables fresh-group registration: arriving points only
+	// update groups already stored. WindowSampler sets this on every level
+	// above 0 — higher levels are populated exclusively by promotion (see
+	// the fidelity note on WindowSampler).
+	matchOnly bool
+}
+
+// NewFixedWindow constructs a standalone Algorithm 2 instance with sample
+// rate 1/r (r must be a power of two ≥ 1).
+func NewFixedWindow(opts Options, win window.Window, r uint64) (*FixedWindow, error) {
+	opts, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if err := win.Validate(); err != nil {
+		return nil, err
+	}
+	sm := hash.NewSplitMix(opts.Seed)
+	gridSeed, hashSeed, rngSeed1, rngSeed2 := sm.Next(), sm.Next(), sm.Next(), sm.Next()
+	spc := opts.Space
+	if spc == nil {
+		spc = NewEuclideanSpace(opts.Dim, opts.GridSide, opts.Alpha, gridSeed)
+	}
+	fw := newFixedWindow(opts, win, r, spc,
+		hash.NewLevelSampler(opts.newHash(hashSeed)),
+		rand.New(rand.NewPCG(rngSeed1, rngSeed2)))
+	return fw, nil
+}
+
+// newFixedWindow wires an instance onto shared infrastructure. Levels of a
+// WindowSampler share one space and one hash function so that the nesting
+// property (Fact 1b) holds across levels.
+func newFixedWindow(opts Options, win window.Window, r uint64, spc Space, ls *hash.LevelSampler, rng *rand.Rand) *FixedWindow {
+	return &FixedWindow{
+		opts:  opts,
+		win:   win,
+		spc:   spc,
+		ls:    ls,
+		rng:   rng,
+		r:     r,
+		index: make(cellIndex),
+		order: list.New(),
+		elem:  make(map[*entry]*list.Element),
+	}
+}
+
+// R returns the reciprocal sample rate of this instance.
+func (fw *FixedWindow) R() uint64 { return fw.r }
+
+// Size returns the number of candidate groups currently stored.
+func (fw *FixedWindow) Size() int { return fw.order.Len() }
+
+// AcceptSize returns |Sacc|.
+func (fw *FixedWindow) AcceptSize() int { return fw.numAcc }
+
+// SpaceWords and PeakSpaceWords report sketch size in words.
+func (fw *FixedWindow) SpaceWords() int     { return fw.space.Live() }
+func (fw *FixedWindow) PeakSpaceWords() int { return fw.space.Peak() }
+
+// Process feeds the next point with its stamp (arrival index for sequence
+// windows, non-decreasing timestamp for time windows): it expires outdated
+// groups and then observes the point. It reports whether p is now the
+// latest point of some candidate group — the "∃(u,p) ∈ A" predicate
+// WindowSampler uses to decide whether the point stuck at this level. It
+// panics on wrong-dimension or non-finite points.
+func (fw *FixedWindow) Process(p geom.Point, stamp int64) bool {
+	validatePoint(p, fw.opts.Dim)
+	fw.Expire(stamp)
+	return fw.observe(p, stamp)
+}
+
+// Expire removes every group whose latest point has left the window ending
+// at now (Algorithm 2, lines 1–3).
+func (fw *FixedWindow) Expire(now int64) {
+	fw.now = now
+	for {
+		front := fw.order.Front()
+		if front == nil {
+			return
+		}
+		e := front.Value.(*entry)
+		if !fw.win.Expired(e.lastStamp, now) {
+			return
+		}
+		fw.drop(e)
+	}
+}
+
+// observe implements lines 4–10 of Algorithm 2 for one point.
+func (fw *FixedWindow) observe(p geom.Point, stamp int64) bool {
+	adjKeys := fw.spc.Adjacent(p)
+
+	// Lines 5–6: a stored representative of p's group exists; p becomes the
+	// group's latest point.
+	if e := fw.index.findGroup(p, adjKeys, fw.spc); e != nil {
+		if fw.opts.RandomRepresentative {
+			fw.space.sub(e.words(true, true))
+			e.observeDuplicate(p, stamp, fw.rng, true)
+			e.observeWindowPick(p, stamp, fw.rng.Uint64())
+			fw.space.add(e.words(true, true))
+		} else {
+			e.observeDuplicate(p, stamp, nil, true)
+		}
+		fw.order.MoveToBack(fw.elem[e])
+		return true
+	}
+	if fw.matchOnly {
+		return false
+	}
+
+	// Lines 7–10: p is the first point of its group in this window; it
+	// becomes the representative if the group is sampled or rejected.
+	cp := fw.spc.Cell(p)
+	accepted := fw.ls.SampledAt(uint64(cp), fw.r)
+	if !accepted && !fw.anySampled(adjKeys) {
+		return false
+	}
+	e := &entry{
+		rep:       p,
+		cell:      cp,
+		adj:       adjKeys,
+		accepted:  accepted,
+		stamp:     stamp,
+		count:     1,
+		pick:      p,
+		last:      p,
+		lastStamp: stamp,
+	}
+	if fw.opts.RandomRepresentative {
+		e.observeWindowPick(p, stamp, fw.rng.Uint64())
+	}
+	fw.insert(e)
+	return true
+}
+
+func (fw *FixedWindow) anySampled(cells []grid.CellKey) bool {
+	for _, c := range cells {
+		if fw.ls.SampledAt(uint64(c), fw.r) {
+			return true
+		}
+	}
+	return false
+}
+
+// insert adds an entry, keeping the order list sorted by lastStamp. New and
+// promoted entries always carry the largest stamps seen by this instance,
+// so insertion at the back is correct; a defensive backward scan handles
+// any out-of-order merge.
+func (fw *FixedWindow) insert(e *entry) {
+	var el *list.Element
+	back := fw.order.Back()
+	if back == nil || back.Value.(*entry).lastStamp <= e.lastStamp {
+		el = fw.order.PushBack(e)
+	} else {
+		at := back
+		for at != nil && at.Value.(*entry).lastStamp > e.lastStamp {
+			at = at.Prev()
+		}
+		if at == nil {
+			el = fw.order.PushFront(e)
+		} else {
+			el = fw.order.InsertAfter(e, at)
+		}
+	}
+	fw.elem[e] = el
+	fw.index.add(e)
+	if e.accepted {
+		fw.numAcc++
+	}
+	fw.space.add(e.words(fw.opts.RandomRepresentative, true))
+}
+
+// drop removes an entry from all structures.
+func (fw *FixedWindow) drop(e *entry) {
+	fw.order.Remove(fw.elem[e])
+	delete(fw.elem, e)
+	fw.index.remove(e)
+	if e.accepted {
+		fw.numAcc--
+	}
+	fw.space.sub(e.words(fw.opts.RandomRepresentative, true))
+}
+
+// Reset clears all state, keeping the sample rate — the "ALG_j ← (⊥,⊥,⊥,R_j)"
+// of Algorithm 3.
+func (fw *FixedWindow) Reset() {
+	fw.index = make(cellIndex)
+	fw.order = list.New()
+	fw.elem = make(map[*entry]*list.Element)
+	fw.numAcc = 0
+	fw.space.sub(fw.space.Live())
+}
+
+// Query returns a robust ℓ0-sample of the current window: a uniformly
+// random group among the sampled groups, represented by its latest point —
+// or, with RandomRepresentative, by a uniformly random in-window point of
+// the group (per-group window reservoir, Section 2.3).
+func (fw *FixedWindow) Query() (geom.Point, error) {
+	var acc []*entry
+	for el := fw.order.Front(); el != nil; el = el.Next() {
+		if e := el.Value.(*entry); e.accepted {
+			acc = append(acc, e)
+		}
+	}
+	if len(acc) == 0 {
+		return nil, ErrEmptySketch
+	}
+	return fw.groupPointAt(acc[fw.rng.IntN(len(acc))], fw.now), nil
+}
+
+// groupPointAt renders one group as a sample point per the configured
+// representative mode, expiring reservoir items against now (the
+// WindowSampler passes its own clock, which can be ahead of a level that
+// has not observed recent points).
+func (fw *FixedWindow) groupPointAt(e *entry, now int64) geom.Point {
+	if !fw.opts.RandomRepresentative {
+		return e.last
+	}
+	fw.space.sub(e.words(true, true))
+	p := e.windowPickAt(func(stamp int64) bool { return fw.win.Expired(stamp, now) })
+	fw.space.add(e.words(true, true))
+	return p
+}
+
+// entriesByStamp returns the stored entries sorted by representative
+// arrival stamp; used by WindowSampler's Split.
+func (fw *FixedWindow) entriesByStamp() []*entry {
+	out := make([]*entry, 0, fw.order.Len())
+	for el := fw.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].stamp < out[j].stamp })
+	return out
+}

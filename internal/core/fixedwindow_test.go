@@ -1,0 +1,243 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/hash"
+	"repro/internal/window"
+)
+
+func seqWin(w int64) window.Window { return window.Window{Kind: window.Sequence, W: w} }
+
+func TestFixedWindowValidation(t *testing.T) {
+	if _, err := NewFixedWindow(Options{Alpha: 0, Dim: 2}, seqWin(5), 1); err == nil {
+		t.Error("expected error for bad options")
+	}
+	if _, err := NewFixedWindow(Options{Alpha: 1, Dim: 2}, window.Window{W: 0}, 1); err == nil {
+		t.Error("expected error for bad window")
+	}
+}
+
+func TestFixedWindowRateOneTracksAllGroups(t *testing.T) {
+	// At R=1 every cell is sampled, so every group with a live point has
+	// exactly one stored entry.
+	fw, err := NewFixedWindow(Options{Alpha: 1, Dim: 2, Seed: 3}, seqWin(10), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Groups at x = 0, 10, 20, ... appear one point per step, cycling.
+	for i := int64(1); i <= 100; i++ {
+		g := (i - 1) % 7
+		fw.Process(geom.Point{float64(g) * 10, 0}, i)
+		want := 7
+		if i < 7 {
+			want = int(i)
+		}
+		if fw.Size() != want {
+			t.Fatalf("step %d: %d stored groups, want %d", i, fw.Size(), want)
+		}
+		if fw.AcceptSize() != fw.Size() {
+			t.Fatalf("step %d: at R=1 all groups must be accepted", i)
+		}
+	}
+}
+
+func TestFixedWindowExpiry(t *testing.T) {
+	fw, _ := NewFixedWindow(Options{Alpha: 1, Dim: 2, Seed: 5}, seqWin(5), 1)
+	// One group, one point at time 1. It must expire at time 6.
+	fw.Process(geom.Point{0, 0}, 1)
+	for now := int64(2); now <= 5; now++ {
+		fw.Expire(now)
+		if fw.Size() != 1 {
+			t.Fatalf("group expired early at %d", now)
+		}
+	}
+	fw.Expire(6)
+	if fw.Size() != 0 {
+		t.Fatal("group not expired at 6")
+	}
+	if _, err := fw.Query(); err == nil {
+		t.Fatal("query after expiry should fail")
+	}
+}
+
+func TestFixedWindowGroupKeptAliveByNewPoints(t *testing.T) {
+	// A group expires only when its LAST point leaves the window.
+	fw, _ := NewFixedWindow(Options{Alpha: 1, Dim: 2, Seed: 7}, seqWin(5), 1)
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := int64(1); i <= 50; i++ {
+		fw.Process(geom.Point{rng.Float64() * 0.3, 0}, i) // same group forever
+		if fw.Size() != 1 {
+			t.Fatalf("step %d: size %d, want 1", i, fw.Size())
+		}
+	}
+	// Stop feeding; group survives 4 more steps (last point at 50).
+	fw.Expire(54)
+	if fw.Size() != 1 {
+		t.Fatal("group dropped too early")
+	}
+	fw.Expire(55)
+	if fw.Size() != 0 {
+		t.Fatal("group should be gone once its last point expired")
+	}
+}
+
+func TestFixedWindowRepresentativeSemantics(t *testing.T) {
+	// Observation 1: the representative is the latest point u of the group
+	// such that the window right before u (inclusive) has no earlier group
+	// point. Feed group A at times 1 and 9 with w=5: at time 9 the stored
+	// representative must be the time-9 point (the time-1 point expired in
+	// between at time 6..8 — with no live point the entry was dropped, so
+	// point 9 re-opens the group).
+	fw, _ := NewFixedWindow(Options{Alpha: 1, Dim: 2, Seed: 9}, seqWin(5), 1)
+	p1 := geom.Point{0, 0}
+	p9 := geom.Point{0.2, 0}
+	fw.Process(p1, 1)
+	for now := int64(2); now <= 8; now++ {
+		fw.Expire(now)
+	}
+	fw.Process(p9, 9)
+	got, err := fw.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(p9) {
+		t.Fatalf("sample = %v, want the re-opening point %v", got, p9)
+	}
+	// And the stored rep is p9 itself.
+	es := fw.entriesByStamp()
+	if len(es) != 1 || !es[0].rep.Equal(p9) {
+		t.Fatalf("stored representative = %+v, want rep %v", es[0].rep, p9)
+	}
+}
+
+func TestFixedWindowContinuousGroupKeepsOldRep(t *testing.T) {
+	// If the group always has a live point, the representative persists
+	// even after the representative point itself expires.
+	fw, _ := NewFixedWindow(Options{Alpha: 1, Dim: 2, Seed: 11}, seqWin(5), 1)
+	first := geom.Point{0, 0}
+	fw.Process(first, 1)
+	for i := int64(2); i <= 20; i++ {
+		fw.Process(geom.Point{0.1, 0}, i)
+	}
+	es := fw.entriesByStamp()
+	if len(es) != 1 {
+		t.Fatalf("%d entries, want 1", len(es))
+	}
+	if !es[0].rep.Equal(first) {
+		t.Fatalf("representative changed to %v; group never left the window", es[0].rep)
+	}
+	// But the sample returned is the group's LAST point (inside window).
+	got, _ := fw.Query()
+	if !got.Equal(geom.Point{0.1, 0}) {
+		t.Fatalf("query returned %v, want the latest point", got)
+	}
+}
+
+func TestFixedWindowSampleRate(t *testing.T) {
+	// Observation 1(2): each group's representative is accepted w.p. 1/R.
+	const rRate = 4
+	const groups = 400
+	accepted := 0
+	sm := hash.NewSplitMix(13)
+	for trial := 0; trial < 30; trial++ {
+		fw, _ := NewFixedWindow(Options{Alpha: 1, Dim: 2, Seed: sm.Next()}, seqWin(1000), rRate)
+		for g := 0; g < groups; g++ {
+			fw.Process(geom.Point{float64(g) * 10, 0}, int64(g+1))
+		}
+		accepted += fw.AcceptSize()
+	}
+	mean := float64(accepted) / 30
+	want := float64(groups) / rRate
+	if math.Abs(mean-want) > want*0.2 {
+		t.Fatalf("mean accepted %g, want ≈%g", mean, want)
+	}
+}
+
+func TestFixedWindowQueryUniformOverWindowGroups(t *testing.T) {
+	// With R=1 and rotating groups, the query must be uniform over groups
+	// with a point in the window.
+	const w = 12
+	const groups = 6 // groups 0..5 each appear twice per window
+	counts := make([]int, groups)
+	const runs = 12000
+	sm := hash.NewSplitMix(15)
+	for r := 0; r < runs; r++ {
+		fw, _ := NewFixedWindow(Options{Alpha: 1, Dim: 2, Seed: sm.Next()}, seqWin(w), 1)
+		for i := int64(1); i <= 60; i++ {
+			g := (i - 1) % groups
+			fw.Process(geom.Point{float64(g) * 10, 0}, i)
+		}
+		got, err := fw.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[int(got[0]/10+0.5)]++
+	}
+	for g, c := range counts {
+		f := float64(c) / runs
+		if math.Abs(f-1.0/groups) > 0.02 {
+			t.Errorf("group %d frequency %.4f, want ≈%.4f", g, f, 1.0/groups)
+		}
+	}
+}
+
+func TestFixedWindowTimeBased(t *testing.T) {
+	// Time-based window of width 100; points arrive in bursts.
+	fw, _ := NewFixedWindow(Options{Alpha: 1, Dim: 2, Seed: 17},
+		window.Window{Kind: window.Time, W: 100}, 1)
+	fw.Process(geom.Point{0, 0}, 10)
+	fw.Process(geom.Point{50, 0}, 60)
+	fw.Expire(109)
+	if fw.Size() != 2 {
+		t.Fatalf("both groups should be live at t=109, have %d", fw.Size())
+	}
+	fw.Expire(110)
+	if fw.Size() != 1 {
+		t.Fatalf("first group should expire at t=110, have %d", fw.Size())
+	}
+	fw.Expire(160)
+	if fw.Size() != 0 {
+		t.Fatal("second group should expire at t=160")
+	}
+}
+
+func TestFixedWindowReset(t *testing.T) {
+	fw, _ := NewFixedWindow(Options{Alpha: 1, Dim: 2, Seed: 19}, seqWin(10), 2)
+	for i := int64(1); i <= 30; i++ {
+		fw.Process(geom.Point{float64(i) * 5, 0}, i)
+	}
+	fw.Reset()
+	if fw.Size() != 0 || fw.AcceptSize() != 0 || fw.SpaceWords() != 0 {
+		t.Fatal("Reset left residual state")
+	}
+	if fw.R() != 2 {
+		t.Fatal("Reset must keep the sample rate")
+	}
+	// Still usable after reset.
+	fw.Process(geom.Point{0, 0}, 31)
+	if fw.Size() > 1 {
+		t.Fatal("unexpected state after reset")
+	}
+}
+
+func TestFixedWindowSpaceAccounting(t *testing.T) {
+	fw, _ := NewFixedWindow(Options{Alpha: 1, Dim: 2, Seed: 21}, seqWin(6), 1)
+	for i := int64(1); i <= 100; i++ {
+		fw.Process(geom.Point{float64(i % 9 * 10), 0}, i)
+	}
+	if fw.SpaceWords() <= 0 {
+		t.Fatal("live words must be positive")
+	}
+	if fw.PeakSpaceWords() < fw.SpaceWords() {
+		t.Fatal("peak < live")
+	}
+	// Let everything expire; live must return to 0.
+	fw.Expire(1000)
+	if fw.SpaceWords() != 0 {
+		t.Fatalf("after full expiry live words = %d, want 0", fw.SpaceWords())
+	}
+}

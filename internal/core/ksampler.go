@@ -1,0 +1,85 @@
+package core
+
+import (
+	"repro/internal/geom"
+	"repro/internal/hash"
+)
+
+// KSampler draws k robust ℓ0-samples with replacement by running k
+// independent copies of Algorithm 1 in parallel over the same stream
+// (Section 2.3, "Sampling k Points with/without Replacement"). Each copy
+// gets an independent seed derived from Options.Seed, so the k returned
+// samples are independent uniform group samples.
+//
+// For k samples *without* replacement, use a single Sampler with
+// Options.K = k and call QueryK.
+type KSampler struct {
+	samplers []*Sampler
+}
+
+// NewKSampler constructs k independent Algorithm 1 instances.
+func NewKSampler(opts Options, k int) (*KSampler, error) {
+	if k < 1 {
+		k = 1
+	}
+	sm := hash.NewSplitMix(opts.Seed ^ 0xa5a5a5a5a5a5a5a5)
+	samplers := make([]*Sampler, k)
+	for i := range samplers {
+		o := opts
+		o.Seed = sm.Next()
+		s, err := NewSampler(o)
+		if err != nil {
+			return nil, err
+		}
+		samplers[i] = s
+	}
+	return &KSampler{samplers: samplers}, nil
+}
+
+// K returns the number of independent copies.
+func (ks *KSampler) K() int { return len(ks.samplers) }
+
+// Process feeds the point to every copy.
+func (ks *KSampler) Process(p geom.Point) {
+	for _, s := range ks.samplers {
+		s.Process(p)
+	}
+}
+
+// Query returns one sample per copy: k robust ℓ0-samples with replacement.
+// Copies whose sketch is empty (probability ≤ k/m) are skipped; the error
+// is non-nil only if every copy is empty.
+func (ks *KSampler) Query() ([]geom.Point, error) {
+	out := make([]geom.Point, 0, len(ks.samplers))
+	for _, s := range ks.samplers {
+		p, err := s.Query()
+		if err != nil {
+			continue
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, ErrEmptySketch
+	}
+	return out, nil
+}
+
+// SpaceWords returns total live sketch words across copies;
+// PeakSpaceWords the sum of per-copy peaks (an upper bound on the true
+// joint peak).
+func (ks *KSampler) SpaceWords() int {
+	total := 0
+	for _, s := range ks.samplers {
+		total += s.SpaceWords()
+	}
+	return total
+}
+
+// PeakSpaceWords returns the sum of per-copy peak space.
+func (ks *KSampler) PeakSpaceWords() int {
+	total := 0
+	for _, s := range ks.samplers {
+		total += s.PeakSpaceWords()
+	}
+	return total
+}

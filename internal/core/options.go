@@ -1,0 +1,178 @@
+// Package core implements the paper's primary contribution: robust
+// ℓ0-sampling for streams with near-duplicates.
+//
+//   - Sampler is Algorithm 1 (infinite window).
+//   - FixedWindow is Algorithm 2 (sliding window at a fixed sample rate),
+//     usable on its own and as the per-level building block of the next.
+//   - WindowSampler is Algorithms 3–5 (the space-efficient hierarchical
+//     sliding-window sampler with Split/Merge).
+//   - KSampler draws k samples with replacement; Options.K raises the
+//     accept-set threshold for k samples without replacement (Section 2.3).
+//
+// All samplers treat two points within distance Alpha as near-duplicates of
+// the same universe element (group) and return each group with (near-)equal
+// probability, per Definitions 1.5 and 1.6.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/hash"
+)
+
+// HashKind selects the hash family backing cell subsampling.
+type HashKind int
+
+const (
+	// HashKWise uses a Θ(log m)-wise independent polynomial family over
+	// GF(2^61−1); this matches the independence the paper's analysis needs.
+	HashKWise HashKind = iota
+	// HashPRF uses a fast seeded PRF as a stand-in for the paper's fully
+	// random hash function assumption.
+	HashPRF
+)
+
+// String implements fmt.Stringer.
+func (k HashKind) String() string {
+	switch k {
+	case HashKWise:
+		return "kwise"
+	case HashPRF:
+		return "prf"
+	default:
+		return fmt.Sprintf("core.HashKind(%d)", int(k))
+	}
+}
+
+// Options configures a sampler. The zero value is not usable; Alpha and Dim
+// are required. See the field comments for defaults applied by normalize.
+type Options struct {
+	// Alpha is the group diameter threshold α: points within distance α are
+	// near-duplicates. Required, must be positive.
+	Alpha float64
+
+	// Dim is the dimension of the Euclidean space. Required, must be ≥ 1.
+	Dim int
+
+	// StreamBound is m, an upper bound on the stream length used to size
+	// the Θ(log m) accept-set threshold and the hash independence.
+	// Defaults to 1<<20.
+	StreamBound int
+
+	// Kappa is the constant κ0 in the accept-set threshold κ0·K·log2(m).
+	// Defaults to 4. Larger values use more space and lower the failure
+	// probability; the paper only requires "a large enough constant".
+	Kappa int
+
+	// K is the number of samples to support without replacement
+	// (Section 2.3): the accept-set threshold is scaled by K so that with
+	// high probability |Sacc| ≥ K at all times. Defaults to 1.
+	K int
+
+	// Seed drives all randomness: grid shift, hash function, query-time
+	// sampling. Two samplers with equal Options behave identically.
+	Seed uint64
+
+	// Hash selects the hash family. Defaults to HashKWise.
+	Hash HashKind
+
+	// HighDim, when true, uses the Section 4 parameters: grid side d·α
+	// (valid for (α,β)-sparse data with β > d^1.5·α). When false the grid
+	// side is α/2, the Section 2.1 constant-dimension setting.
+	HighDim bool
+
+	// GridSide overrides the grid side length when positive; zero selects
+	// the mode default described under HighDim.
+	GridSide float64
+
+	// RandomRepresentative, when true, augments the sampler with reservoir
+	// sampling so that queries return a uniformly random point of the
+	// sampled group instead of the group's fixed representative point
+	// (Section 2.3, "Random Point As Group Representative").
+	RandomRepresentative bool
+
+	// Space overrides the locality structure (bucketing plus the
+	// near-duplicate predicate). Nil — the default — selects the paper's
+	// randomly shifted Euclidean grid derived from Alpha, Dim, GridSide
+	// and Seed. Custom spaces (e.g. lsh.Angular) generalize the sampler
+	// to other metrics per the paper's concluding remark, with the
+	// uniformity caveats documented on the implementation; sketches with
+	// a custom Space are not serializable.
+	Space Space
+
+	// Window configures the sliding-window samplers; ignored by Sampler.
+	// See NewFixedWindow and NewWindowSampler.
+}
+
+// normalize validates opts and fills defaults, returning the effective
+// options. It is called by every constructor in this package.
+func (o Options) normalize() (Options, error) {
+	if !(o.Alpha > 0) || math.IsInf(o.Alpha, 1) || math.IsNaN(o.Alpha) {
+		return o, fmt.Errorf("core: Alpha must be a positive finite number, got %g", o.Alpha)
+	}
+	if o.Dim < 1 {
+		return o, fmt.Errorf("core: Dim must be ≥ 1, got %d", o.Dim)
+	}
+	if o.StreamBound == 0 {
+		o.StreamBound = 1 << 20
+	}
+	if o.StreamBound < 2 {
+		return o, fmt.Errorf("core: StreamBound must be ≥ 2, got %d", o.StreamBound)
+	}
+	if o.Kappa == 0 {
+		o.Kappa = 4
+	}
+	if o.Kappa < 1 {
+		return o, fmt.Errorf("core: Kappa must be ≥ 1, got %d", o.Kappa)
+	}
+	if o.K == 0 {
+		o.K = 1
+	}
+	if o.K < 1 {
+		return o, fmt.Errorf("core: K must be ≥ 1, got %d", o.K)
+	}
+	if o.GridSide < 0 || math.IsNaN(o.GridSide) {
+		return o, fmt.Errorf("core: GridSide must be ≥ 0, got %g", o.GridSide)
+	}
+	switch o.Hash {
+	case HashKWise, HashPRF:
+	default:
+		return o, fmt.Errorf("core: unknown hash kind %d", int(o.Hash))
+	}
+	if o.GridSide == 0 {
+		if o.HighDim {
+			o.GridSide = float64(o.Dim) * o.Alpha
+		} else {
+			o.GridSide = o.Alpha / 2
+		}
+	}
+	return o, nil
+}
+
+// logM returns ⌈log2 StreamBound⌉, the log m factor in thresholds.
+func (o Options) logM() int {
+	return bits.Len(uint(o.StreamBound - 1))
+}
+
+// acceptThreshold is the κ0·K·log m bound on |Sacc| that triggers a rate
+// doubling in Algorithm 1 and a Split cascade in Algorithm 3.
+func (o Options) acceptThreshold() int {
+	t := o.Kappa * o.K * o.logM()
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// newHash builds the configured hash function. The independence of the
+// k-wise family is 2·⌈log2 m⌉ + 2, the Θ(log m) the paper's analysis uses.
+func (o Options) newHash(seed uint64) hash.Func {
+	switch o.Hash {
+	case HashPRF:
+		return hash.NewPRF(seed)
+	default:
+		return hash.NewKWise(2*o.logM()+2, seed)
+	}
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"errors"
+	"math/rand/v2"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/hash"
+)
+
+// ErrEmptySketch is returned by queries when no group has been sampled —
+// either the stream is empty or the (probability ≤ 1/m) failure event of
+// Lemma 2.5 occurred.
+var ErrEmptySketch = errors.New("core: no sampled group available")
+
+// Sampler is Algorithm 1: the robust ℓ0-sampler for the infinite-window
+// streaming model. It maintains the accept set Sacc (representatives of
+// sampled groups) and the reject set Srej (representatives of groups that
+// touch a sampled cell but whose first point does not), doubling the
+// reciprocal sample rate R whenever |Sacc| exceeds κ0·K·log m.
+//
+// With probability 1−1/m over the whole stream, Query returns a point from
+// each group of the natural partition with equal probability (Theorem 2.4)
+// for well-separated data, and with probability Θ(1/F0(S,α)) per ball for
+// general data (Theorem 3.1). Space and per-point time are O(log m) words
+// in constant dimension.
+//
+// Sampler is not safe for concurrent use; wrap it in a mutex or shard the
+// stream if concurrent Process calls are needed.
+type Sampler struct {
+	opts    Options
+	spc     Space
+	ls      *hash.LevelSampler
+	rng     *rand.Rand
+	r       uint64 // reciprocal of the cell sample rate, a power of two
+	entries []*entry
+	index   cellIndex
+	numAcc  int
+	n       int64 // points processed
+	space   spaceMeter
+	rehash  int // number of rate doublings performed (diagnostics)
+}
+
+// NewSampler constructs an infinite-window robust ℓ0-sampler.
+func NewSampler(opts Options) (*Sampler, error) {
+	opts, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	sm := hash.NewSplitMix(opts.Seed)
+	gridSeed, hashSeed, rngSeed1, rngSeed2 := sm.Next(), sm.Next(), sm.Next(), sm.Next()
+	spc := opts.Space
+	if spc == nil {
+		spc = NewEuclideanSpace(opts.Dim, opts.GridSide, opts.Alpha, gridSeed)
+	}
+	return &Sampler{
+		opts:  opts,
+		spc:   spc,
+		ls:    hash.NewLevelSampler(opts.newHash(hashSeed)),
+		rng:   rand.New(rand.NewPCG(rngSeed1, rngSeed2)),
+		r:     1,
+		index: make(cellIndex),
+	}, nil
+}
+
+// Options returns the effective (normalized) options.
+func (s *Sampler) Options() Options { return s.opts }
+
+// Processed returns the number of points fed to the sampler.
+func (s *Sampler) Processed() int64 { return s.n }
+
+// R returns the current reciprocal sample rate (a power of two).
+func (s *Sampler) R() uint64 { return s.r }
+
+// Rehashes returns how many times the sample rate was halved.
+func (s *Sampler) Rehashes() int { return s.rehash }
+
+// AcceptSize and RejectSize return |Sacc| and |Srej|.
+func (s *Sampler) AcceptSize() int { return s.numAcc }
+func (s *Sampler) RejectSize() int { return len(s.entries) - s.numAcc }
+
+// SpaceWords returns the current number of sketch words; PeakSpaceWords the
+// peak over the stream so far (the paper's pSpace).
+func (s *Sampler) SpaceWords() int     { return s.space.Live() }
+func (s *Sampler) PeakSpaceWords() int { return s.space.Peak() }
+
+// Process feeds the next stream point to the sampler. It panics on points
+// of the wrong dimension or with non-finite coordinates — both indicate a
+// caller bug that would silently corrupt the grid arithmetic.
+func (s *Sampler) Process(p geom.Point) {
+	validatePoint(p, s.opts.Dim)
+	s.n++
+	adjKeys := s.spc.Adjacent(p)
+
+	// Line 4: if p belongs to a known candidate group it is not the first
+	// point of that group; update the group's auxiliary state and move on.
+	if e := s.index.findGroup(p, adjKeys, s.spc); e != nil {
+		if s.opts.RandomRepresentative {
+			e.observeDuplicate(p, s.n, s.rng, false)
+		}
+		return
+	}
+
+	// p is the first point of its group among groups we can still see.
+	// Lines 6–9: classify the group by its first point's cell.
+	cp := s.spc.Cell(p)
+	accepted := s.ls.SampledAt(uint64(cp), s.r)
+	if !accepted && !s.anySampled(adjKeys) {
+		return // ignored group: no cell of adj(p) is sampled
+	}
+	e := &entry{
+		rep:      p,
+		cell:     cp,
+		adj:      adjKeys,
+		accepted: accepted,
+		stamp:    s.n,
+		count:    1,
+		pick:     p,
+	}
+	s.entries = append(s.entries, e)
+	s.index.add(e)
+	s.space.add(e.words(s.opts.RandomRepresentative, false))
+	if accepted {
+		s.numAcc++
+		// Lines 10–12: keep |Sacc| within the threshold by halving the
+		// sample rate (doubling R) and re-classifying stored entries.
+		for s.numAcc > s.opts.acceptThreshold() {
+			s.doubleR()
+		}
+	}
+}
+
+// anySampled reports whether any of the cells is sampled at the current
+// rate — the "∃C ∈ adj(p) s.t. h_R(C) = 0" test.
+func (s *Sampler) anySampled(cells []grid.CellKey) bool {
+	for _, c := range cells {
+		if s.ls.SampledAt(uint64(c), s.r) {
+			return true
+		}
+	}
+	return false
+}
+
+// doubleR doubles R and re-classifies every stored entry per
+// Definition 2.2. Because sampled sets are nested across rates (Fact 1b), a
+// group ignored before stays ignored, an accepted group either stays
+// accepted or becomes rejected/dropped, and a rejected group either stays
+// rejected or is dropped; no new candidate groups can appear.
+func (s *Sampler) doubleR() {
+	s.r *= 2
+	s.rehash++
+	kept := s.entries[:0]
+	s.numAcc = 0
+	for _, e := range s.entries {
+		accepted := s.ls.SampledAt(uint64(e.cell), s.r)
+		switch {
+		case accepted:
+			e.accepted = true
+			s.numAcc++
+			kept = append(kept, e)
+		case s.anySampled(e.adj):
+			e.accepted = false
+			kept = append(kept, e)
+		default:
+			s.index.remove(e)
+			s.space.sub(e.words(s.opts.RandomRepresentative, false))
+		}
+	}
+	// Zero the tail so dropped entries can be collected.
+	for i := len(kept); i < len(s.entries); i++ {
+		s.entries[i] = nil
+	}
+	s.entries = kept
+}
+
+// Query returns a robust ℓ0-sample: a uniformly random element of Sacc.
+// With RandomRepresentative set, the returned point is a uniform point of
+// the sampled group rather than its representative. The returned point must
+// not be mutated by the caller.
+func (s *Sampler) Query() (geom.Point, error) {
+	e, err := s.queryEntry()
+	if err != nil {
+		return nil, err
+	}
+	if s.opts.RandomRepresentative {
+		return e.pick, nil
+	}
+	return e.rep, nil
+}
+
+// QueryK returns min(k, |Sacc|) distinct sampled groups' points, a sample
+// of k groups without replacement (Section 2.3). Construct the sampler with
+// Options.K = k so that |Sacc| ≥ k holds with high probability. The error
+// is non-nil only when no group at all is available.
+func (s *Sampler) QueryK(k int) ([]geom.Point, error) {
+	acc := s.acceptedEntries()
+	if len(acc) == 0 {
+		return nil, ErrEmptySketch
+	}
+	if k > len(acc) {
+		k = len(acc)
+	}
+	// Partial Fisher–Yates over the accepted entries.
+	out := make([]geom.Point, 0, k)
+	for i := 0; i < k; i++ {
+		j := i + s.rng.IntN(len(acc)-i)
+		acc[i], acc[j] = acc[j], acc[i]
+		if s.opts.RandomRepresentative {
+			out = append(out, acc[i].pick)
+		} else {
+			out = append(out, acc[i].rep)
+		}
+	}
+	return out, nil
+}
+
+func (s *Sampler) queryEntry() (*entry, error) {
+	acc := s.acceptedEntries()
+	if len(acc) == 0 {
+		return nil, ErrEmptySketch
+	}
+	return acc[s.rng.IntN(len(acc))], nil
+}
+
+func (s *Sampler) acceptedEntries() []*entry {
+	acc := make([]*entry, 0, s.numAcc)
+	for _, e := range s.entries {
+		if e.accepted {
+			acc = append(acc, e)
+		}
+	}
+	return acc
+}
+
+// AcceptedReps returns the representative points currently in Sacc, in
+// arrival order. Intended for tests, diagnostics and the F0 estimator.
+func (s *Sampler) AcceptedReps() []geom.Point {
+	acc := s.acceptedEntries()
+	out := make([]geom.Point, len(acc))
+	for i, e := range acc {
+		out[i] = e.rep
+	}
+	return out
+}
+
+// RejectedReps returns the representative points currently in Srej, in
+// arrival order. Intended for tests and diagnostics.
+func (s *Sampler) RejectedReps() []geom.Point {
+	out := make([]geom.Point, 0, s.RejectSize())
+	for _, e := range s.entries {
+		if !e.accepted {
+			out = append(out, e.rep)
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// samplerState is the gob wire form of a Sampler. Only dynamic state is
+// stored: the grid, hash function and RNG are all derived deterministically
+// from Options.Seed, so Options plus the entry list reconstructs the
+// sketch exactly. Cached cell keys and adjacency lists are recomputed on
+// load.
+type samplerState struct {
+	Opts    Options
+	R       uint64
+	N       int64
+	Rehash  int
+	Peak    int
+	Entries []entryState
+}
+
+type entryState struct {
+	Rep      []float64
+	Accepted bool
+	Stamp    int64
+	Count    int64
+	Pick     []float64
+}
+
+// MarshalBinary serializes the sketch for checkpointing or shipping to
+// another process. The counterpart is UnmarshalSampler. Sketches built
+// with a custom Space cannot be serialized: the space is not part of the
+// wire format and could not be re-derived on load.
+func (s *Sampler) MarshalBinary() ([]byte, error) {
+	if s.opts.Space != nil {
+		return nil, fmt.Errorf("core: sketches with a custom Space are not serializable")
+	}
+	st := samplerState{
+		Opts:    s.opts,
+		R:       s.r,
+		N:       s.n,
+		Rehash:  s.rehash,
+		Peak:    s.space.Peak(),
+		Entries: make([]entryState, len(s.entries)),
+	}
+	for i, e := range s.entries {
+		st.Entries[i] = entryState{
+			Rep:      e.rep,
+			Accepted: e.accepted,
+			Stamp:    e.stamp,
+			Count:    e.count,
+			Pick:     e.pick,
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("core: encoding sketch: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalSampler reconstructs a Sampler from MarshalBinary output. The
+// query RNG is re-derived from the seed and the number of processed
+// points, so a restored sketch gives statistically equivalent (not
+// bit-identical) query randomness.
+func UnmarshalSampler(data []byte) (*Sampler, error) {
+	var st samplerState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("core: decoding sketch: %w", err)
+	}
+	if st.R == 0 || st.R&(st.R-1) != 0 {
+		return nil, fmt.Errorf("core: corrupt sketch: R=%d is not a power of two", st.R)
+	}
+	s, err := NewSampler(st.Opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: restoring sketch: %w", err)
+	}
+	s.r = st.R
+	s.n = st.N
+	s.rehash = st.Rehash
+	for _, es := range st.Entries {
+		if len(es.Rep) != s.opts.Dim {
+			return nil, fmt.Errorf("core: corrupt sketch: entry dimension %d, want %d",
+				len(es.Rep), s.opts.Dim)
+		}
+		rep := geom.Point(es.Rep)
+		e := &entry{
+			rep:      rep,
+			cell:     s.spc.Cell(rep),
+			adj:      s.spc.Adjacent(rep),
+			accepted: es.Accepted,
+			stamp:    es.Stamp,
+			count:    es.Count,
+			pick:     es.Pick,
+		}
+		// Re-validate the classification against the (re-derived) hash: a
+		// sketch from different options would fail here rather than
+		// silently mis-sample.
+		own := s.ls.SampledAt(uint64(e.cell), s.r)
+		if e.accepted != own {
+			return nil, fmt.Errorf("core: sketch inconsistent with options (entry %v)", rep)
+		}
+		s.entries = append(s.entries, e)
+		s.index.add(e)
+		s.space.add(e.words(s.opts.RandomRepresentative, false))
+		if e.accepted {
+			s.numAcc++
+		}
+	}
+	if st.Peak > s.space.peak {
+		s.space.peak = st.Peak
+	}
+	return s, nil
+}

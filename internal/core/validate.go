@@ -1,0 +1,23 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// validatePoint rejects points that would corrupt grid arithmetic: wrong
+// dimension, NaN or infinite coordinates. Floor of a NaN coordinate is NaN
+// and its int64 conversion is architecture-defined, which would make cell
+// assignment non-deterministic — better to fail loudly at the boundary.
+func validatePoint(p geom.Point, dim int) {
+	if len(p) != dim {
+		panic(fmt.Sprintf("core: point dimension %d, sampler dimension %d", len(p), dim))
+	}
+	for i, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			panic(fmt.Sprintf("core: non-finite coordinate %g at index %d", v, i))
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/hash"
+	"repro/internal/window"
+)
+
+// TestWindowRandomRepresentativeUniformWithinGroup checks the Section 2.3
+// window augmentation: with RandomRepresentative, a windowed query returns
+// a uniformly random *in-window* point of the sampled group, not its
+// latest point.
+func TestWindowRandomRepresentativeUniformWithinGroup(t *testing.T) {
+	// One group; its points are distinguishable by the y coordinate.
+	// Window of 10: at query time points y=10..19 are in-window.
+	const w = 10
+	counts := make([]int, w)
+	const runs = 20000
+	sm := hash.NewSplitMix(3)
+	for r := 0; r < runs; r++ {
+		fw, err := NewFixedWindow(Options{Alpha: 1, Dim: 2, Seed: sm.Next(), RandomRepresentative: true},
+			seqWin(w), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < 20; i++ {
+			// All points share x=0 (one group); y encodes identity but
+			// stays within α of the others? No — y varies 0..19·ε.
+			fw.Process(geom.Point{0, float64(i) * 0.01}, i+1)
+		}
+		q, err := fw.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := int(q[1]/0.01+0.5) - 10 // in-window points are 10..19
+		if idx < 0 || idx >= w {
+			t.Fatalf("returned point %v is outside the window", q)
+		}
+		counts[idx]++
+	}
+	for i, c := range counts {
+		f := float64(c) / runs
+		if math.Abs(f-1.0/w) > 0.015 {
+			t.Errorf("window point %d frequency %.4f, want ≈%.3f", i, f, 1.0/w)
+		}
+	}
+}
+
+func TestWindowRandomRepresentativeNeverExpired(t *testing.T) {
+	// Long single-group stream: the returned point must always be from the
+	// current window even though older points had higher priorities.
+	fw, _ := NewFixedWindow(Options{Alpha: 1, Dim: 2, Seed: 9, RandomRepresentative: true},
+		seqWin(5), 1)
+	for i := int64(1); i <= 500; i++ {
+		fw.Process(geom.Point{0, float64(i)}, i)
+		q, err := fw.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := int64(q[1]); got <= i-5 || got > i {
+			t.Fatalf("step %d: returned y=%d outside window", i, got)
+		}
+	}
+}
+
+func TestWindowSamplerRandomRepresentative(t *testing.T) {
+	// The hierarchical sampler passes the mode through: with two groups,
+	// the returned point of the sampled group must be in-window and vary
+	// across its window points.
+	const w = 16
+	seenY := map[int64]bool{}
+	sm := hash.NewSplitMix(11)
+	for r := 0; r < 300; r++ {
+		ws, err := NewWindowSampler(Options{Alpha: 1, Dim: 2, Seed: sm.Next(), RandomRepresentative: true},
+			seqWin(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(1); i <= 48; i++ {
+			g := float64((i % 2) * 100)
+			ws.Process(geom.Point{g, float64(i)})
+		}
+		q, err := ws.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		y := int64(q[1])
+		if y <= 48-w || y > 48 {
+			t.Fatalf("returned stamp %d outside window", y)
+		}
+		seenY[y] = true
+	}
+	// Both groups' points span the window; across 300 runs many distinct
+	// in-window positions must appear (a latest-point-only implementation
+	// would see exactly 2).
+	if len(seenY) < 6 {
+		t.Fatalf("only %d distinct window positions returned; reservoir not active", len(seenY))
+	}
+}
+
+func TestWindowReservoirSkylineBounded(t *testing.T) {
+	// The per-group reservoir must stay O(log w), not accumulate the
+	// whole group history.
+	fw, _ := NewFixedWindow(Options{Alpha: 1, Dim: 2, Seed: 13, RandomRepresentative: true},
+		window.Window{Kind: window.Sequence, W: 10000}, 1)
+	for i := int64(1); i <= 20000; i++ {
+		fw.Process(geom.Point{0, float64(i) * 1e-9}, i)
+	}
+	es := fw.entriesByStamp()
+	if len(es) != 1 {
+		t.Fatalf("%d entries, want 1", len(es))
+	}
+	if n := len(es[0].wres); n > 60 {
+		t.Fatalf("reservoir skyline has %d items, want O(log w) ≈ 14", n)
+	}
+}

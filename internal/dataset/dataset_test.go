@@ -1,0 +1,190 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/partition"
+)
+
+func TestBaseProperties(t *testing.T) {
+	for _, b := range []Base{Rand5, Rand20, Yacht, Seeds} {
+		ds := b.Generate(1)
+		if len(ds) != b.Size() {
+			t.Errorf("%v: %d points, want %d", b, len(ds), b.Size())
+		}
+		if ds.Dim() != b.Dim() {
+			t.Errorf("%v: dim %d, want %d", b, ds.Dim(), b.Dim())
+		}
+	}
+}
+
+func TestBaseDeterministic(t *testing.T) {
+	a := Rand5.Generate(7)
+	b := Rand5.Generate(7)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("same seed produced different datasets")
+		}
+	}
+	c := Rand5.Generate(8)
+	if a[0].Equal(c[0]) {
+		t.Fatal("different seeds produced identical first point")
+	}
+}
+
+func TestRandBasesInUnitCube(t *testing.T) {
+	for _, b := range []Base{Rand5, Rand20} {
+		for _, p := range b.Generate(3) {
+			for _, v := range p {
+				if v < 0 || v >= 1 {
+					t.Fatalf("%v: coordinate %g outside (0,1)", b, v)
+				}
+			}
+		}
+	}
+}
+
+func TestWithDuplicatesCounts(t *testing.T) {
+	base := Rand5.Generate(1).NormalizeMinDist()
+	noisy, groups := WithDuplicates(base, DupUniform, 2)
+	if len(noisy) != len(groups) {
+		t.Fatal("points and labels length mismatch")
+	}
+	// Each base point contributes itself + k_i ∈ [1,100] duplicates.
+	per := make([]int, len(base))
+	for _, g := range groups {
+		per[g]++
+	}
+	for i, n := range per {
+		if n < 2 || n > 101 {
+			t.Fatalf("group %d has %d points, want within [2, 101]", i, n)
+		}
+	}
+}
+
+func TestWithDuplicatesPowerLaw(t *testing.T) {
+	base := Seeds.Generate(1).NormalizeMinDist()
+	noisy, groups := WithDuplicates(base, DupPowerLaw, 2)
+	n := len(base)
+	per := make([]int, n)
+	for _, g := range groups {
+		per[g]++
+	}
+	// The largest group has 1 + ⌈n/1⌉ = n+1 points; the smallest 1+⌈n/n⌉ = 2.
+	largest, smallest := 0, len(noisy)
+	for _, c := range per {
+		if c > largest {
+			largest = c
+		}
+		if c < smallest {
+			smallest = c
+		}
+	}
+	if largest != n+1 {
+		t.Errorf("largest group = %d, want %d", largest, n+1)
+	}
+	if smallest != 2 {
+		t.Errorf("smallest group = %d, want 2", smallest)
+	}
+}
+
+func TestDuplicateDistanceBound(t *testing.T) {
+	base := Yacht.Generate(5).NormalizeMinDist()
+	noisy, groups := WithDuplicates(base, DupUniform, 6)
+	d := float64(base.Dim())
+	maxLen := 1 / (2 * math.Pow(d, 1.5))
+	for i, p := range noisy {
+		if dist := geom.Dist(p, base[groups[i]]); dist > maxLen {
+			t.Fatalf("duplicate %d at distance %g > %g from its base", i, dist, maxLen)
+		}
+	}
+}
+
+func TestShufflePreservesPairs(t *testing.T) {
+	base := Seeds.Generate(2).NormalizeMinDist()
+	noisy, groups := WithDuplicates(base, DupUniform, 3)
+	shuffled, g2 := Shuffle(noisy, groups, 4)
+	if len(shuffled) != len(noisy) {
+		t.Fatal("shuffle changed length")
+	}
+	// Every shuffled point must still be within maxLen of its labeled base.
+	d := float64(base.Dim())
+	maxLen := 1 / (2 * math.Pow(d, 1.5))
+	for i, p := range shuffled {
+		if dist := geom.Dist(p, base[g2[i]]); dist > maxLen {
+			t.Fatalf("label broken after shuffle at %d (dist %g)", i, dist)
+		}
+	}
+}
+
+func TestBuildWellSeparated(t *testing.T) {
+	// The built instances must be well-separated at the instance's α:
+	// the natural partition must have exactly NumGroups groups matching
+	// the ground-truth labels.
+	for _, spec := range []Spec{{Rand5, DupUniform}, {Seeds, DupPowerLaw}} {
+		inst := Build(spec, 42)
+		nat := partition.Natural(inst.Points, inst.Alpha)
+		if nat.Groups != inst.NumGroups {
+			t.Fatalf("%s: natural partition has %d groups, want %d",
+				spec.Name(), nat.Groups, inst.NumGroups)
+		}
+		// Natural groups must coincide with ground truth labels.
+		seen := make(map[int]int)
+		for i, g := range nat.Assign {
+			truth := inst.Groups[i]
+			if prev, ok := seen[g]; ok {
+				if prev != truth {
+					t.Fatalf("%s: natural group %d spans truth groups %d and %d",
+						spec.Name(), g, prev, truth)
+				}
+			} else {
+				seen[g] = truth
+			}
+		}
+	}
+}
+
+func TestBuildAlpha(t *testing.T) {
+	inst := Build(Spec{Rand5, DupUniform}, 1)
+	want := 1 / math.Pow(5, 1.5)
+	if math.Abs(inst.Alpha-want) > 1e-12 {
+		t.Fatalf("Alpha = %g, want %g", inst.Alpha, want)
+	}
+}
+
+func TestSpecNames(t *testing.T) {
+	names := []string{"Rand5", "Rand20", "Yacht", "Seeds", "Rand5-pl", "Rand20-pl", "Yacht-pl", "Seeds-pl"}
+	specs := AllSpecs()
+	if len(specs) != len(names) {
+		t.Fatalf("AllSpecs returned %d specs", len(specs))
+	}
+	for i, s := range specs {
+		if s.Name() != names[i] {
+			t.Errorf("spec %d name = %q, want %q", i, s.Name(), names[i])
+		}
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	s, err := SpecByName("rand20-PL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Base != Rand20 || s.Kind != DupPowerLaw {
+		t.Fatalf("SpecByName = %+v", s)
+	}
+	if _, err := SpecByName("nope"); err == nil {
+		t.Fatal("expected error for unknown name")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Rand5.String() != "Rand5" || DupPowerLaw.String() != "power-law" {
+		t.Error("Stringer mismatch")
+	}
+	if Base(99).String() == "" || DupKind(99).String() == "" {
+		t.Error("unknown values must still render")
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/hash"
+	"repro/internal/metrics"
+)
+
+// AblationResult reports one configuration of an ablation sweep: what was
+// varied, how uniform the sampling stayed, and what it cost.
+type AblationResult struct {
+	Dataset   string
+	Variant   string
+	Runs      int
+	StdDevNm  float64
+	MaxDevNm  float64
+	PerItem   time.Duration
+	PeakWords float64
+}
+
+// ablate runs the distribution experiment under a caller-mutated option
+// set.
+func ablate(spec dataset.Spec, runs int, seed uint64, variant string,
+	mutate func(*core.Options)) (AblationResult, error) {
+	inst := dataset.Build(spec, seed)
+	ix := newLabelIndex(inst)
+	counts := metrics.NewCounts(inst.NumGroups)
+	sm := hash.NewSplitMix(seed ^ 0xab1a7e)
+	var tm metrics.Timer
+	var peakSum float64
+	for r := 0; r < runs; r++ {
+		opts := samplerOptions(inst, sm.Next())
+		mutate(&opts)
+		s, err := core.NewSampler(opts)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		start := time.Now()
+		for _, p := range inst.Points {
+			s.Process(p)
+		}
+		tm.AddRun(time.Since(start), int64(len(inst.Points)))
+		peakSum += float64(s.PeakSpaceWords())
+		if q, err := s.Query(); err == nil {
+			if g, err := ix.of(q); err == nil {
+				counts.Observe(g)
+			}
+		}
+	}
+	return AblationResult{
+		Dataset:   spec.Name(),
+		Variant:   variant,
+		Runs:      runs,
+		StdDevNm:  counts.StdDevNm(),
+		MaxDevNm:  counts.MaxDevNm(),
+		PerItem:   tm.PerItem(),
+		PeakWords: peakSum / float64(runs),
+	}, nil
+}
+
+// AblateHash compares the Θ(log m)-wise independent polynomial hash with
+// the PRF stand-in for full randomness: accuracy should match, the PRF
+// should be faster per item.
+func AblateHash(spec dataset.Spec, runs int, seed uint64) ([]AblationResult, error) {
+	var out []AblationResult
+	for _, v := range []struct {
+		name string
+		kind core.HashKind
+	}{{"kwise", core.HashKWise}, {"prf", core.HashPRF}} {
+		r, err := ablate(spec, runs, seed, "hash="+v.name, func(o *core.Options) { o.Hash = v.kind })
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// AblateKappa sweeps the threshold constant κ0: larger κ0 uses more space
+// and lowers the failure/deviation at the margin.
+func AblateKappa(spec dataset.Spec, runs int, seed uint64) ([]AblationResult, error) {
+	var out []AblationResult
+	for _, k := range []int{1, 2, 4, 8} {
+		k := k
+		r, err := ablate(spec, runs, seed, fmt.Sprintf("kappa=%d", k), func(o *core.Options) { o.Kappa = k })
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// AblateGridSide sweeps the grid side as a multiple of the Section 4
+// default d·α: smaller cells mean more cells per group (more reject-set
+// tracking), larger cells risk multiple groups per cell.
+func AblateGridSide(spec dataset.Spec, runs int, seed uint64) ([]AblationResult, error) {
+	inst := dataset.Build(spec, seed)
+	d := float64(spec.Base.Dim())
+	base := d * inst.Alpha
+	var out []AblationResult
+	for _, mul := range []float64{0.25, 0.5, 1, 2, 4} {
+		mul := mul
+		r, err := ablate(spec, runs, seed, fmt.Sprintf("side=%g×dα", mul),
+			func(o *core.Options) { o.GridSide = base * mul })
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/hash"
+	"repro/internal/metrics"
+)
+
+// BiasResult contrasts the robust ℓ0-sampler with the standard (noiseless)
+// min-rank ℓ0-sampler on a near-duplicate-heavy dataset — the paper's
+// Section 1 motivation ("the sampling will be biased towards those elements
+// that have a large number of near-duplicates").
+type BiasResult struct {
+	Dataset string
+	Runs    int
+	Groups  int
+
+	// Robust sampler deviations (small = uniform over groups).
+	RobustStdDevNm float64
+	RobustMaxDevNm float64
+
+	// Min-rank sampler deviations over *groups* (large = biased by
+	// duplicate counts).
+	MinRankStdDevNm float64
+	MinRankMaxDevNm float64
+
+	// HeavyFreq: empirical probability that the min-rank sampler returns
+	// the single largest group, vs the uniform target 1/Groups. On the
+	// power-law datasets the largest group holds about half the stream.
+	MinRankHeavyFreq float64
+	RobustHeavyFreq  float64
+	UniformTarget    float64
+}
+
+// Bias runs both samplers over the same streams and compares their group
+// distributions.
+func Bias(spec dataset.Spec, runs int, seed uint64) (BiasResult, error) {
+	inst := dataset.Build(spec, seed)
+	ix := newLabelIndex(inst)
+
+	// Identify the heaviest group.
+	sizes := make([]int, inst.NumGroups)
+	for _, g := range inst.Groups {
+		sizes[g]++
+	}
+	heavy := 0
+	for g, n := range sizes {
+		if n > sizes[heavy] {
+			heavy = g
+		}
+	}
+
+	robust := metrics.NewCounts(inst.NumGroups)
+	minrank := metrics.NewCounts(inst.NumGroups)
+	sm := hash.NewSplitMix(seed ^ 0xb1a5)
+	for r := 0; r < runs; r++ {
+		s, err := core.NewSampler(samplerOptions(inst, sm.Next()))
+		if err != nil {
+			return BiasResult{}, err
+		}
+		m := baseline.NewMinRank(sm.Next())
+		for _, p := range inst.Points {
+			s.Process(p)
+			m.Process(p)
+		}
+		if q, err := s.Query(); err == nil {
+			if g, err := ix.of(q); err == nil {
+				robust.Observe(g)
+			}
+		}
+		if q, err := m.Query(); err == nil {
+			if g, err := ix.of(q); err == nil {
+				minrank.Observe(g)
+			}
+		}
+	}
+	return BiasResult{
+		Dataset:          spec.Name(),
+		Runs:             runs,
+		Groups:           inst.NumGroups,
+		RobustStdDevNm:   robust.StdDevNm(),
+		RobustMaxDevNm:   robust.MaxDevNm(),
+		MinRankStdDevNm:  minrank.StdDevNm(),
+		MinRankMaxDevNm:  minrank.MaxDevNm(),
+		MinRankHeavyFreq: minrank.Frequencies()[heavy],
+		RobustHeavyFreq:  robust.Frequencies()[heavy],
+		UniformTarget:    1 / float64(inst.NumGroups),
+	}, nil
+}

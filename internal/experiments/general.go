@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/hash"
+	"repro/internal/partition"
+)
+
+// GeneralBallResult measures Theorem 3.1 on a dataset that is NOT
+// well-separated: for every point p, the probability that the returned
+// sample lands in Ball(p, α) must be Θ(1/F0(S,α)) — within constant
+// factors of uniform, both ways.
+type GeneralBallResult struct {
+	Points int
+	Alpha  float64
+	Runs   int
+
+	// GreedyGroups is n_gdy for the dataset order (Lemma 3.3: any greedy
+	// order is within constant factors of the minimum partition).
+	GreedyGroups int
+
+	// MinBallFreq / MaxBallFreq are the extreme empirical ball-hit
+	// probabilities over all points; Theorem 3.1 predicts both are
+	// Θ(1/GreedyGroups).
+	MinBallFreq float64
+	MaxBallFreq float64
+	// UniformRef is 1/GreedyGroups for comparison.
+	UniformRef float64
+	// SpreadFactor is MaxBallFreq/MinBallFreq — the constant in Θ(·).
+	SpreadFactor float64
+}
+
+// GeneralBall runs the sampler over uniform (non-separated) points and
+// measures per-point ball-hit frequencies.
+func GeneralBall(points, dim int, alpha float64, runs int, seed uint64) (GeneralBallResult, error) {
+	rng := rand.New(rand.NewPCG(seed, 0x9e4e))
+	pts := make([]geom.Point, points)
+	for i := range pts {
+		p := make(geom.Point, dim)
+		for j := range p {
+			p[j] = rng.Float64() * 3 // dense square: chains of overlapping balls
+		}
+		pts[i] = p
+	}
+	gdy := partition.Greedy(geom.Dataset(pts), alpha, nil)
+
+	hits := make([]int, points)
+	sm := hash.NewSplitMix(seed ^ 0x9e4e11)
+	got := 0
+	for r := 0; r < runs; r++ {
+		s, err := core.NewSampler(core.Options{
+			Alpha:       alpha,
+			Dim:         dim,
+			StreamBound: points + 1,
+			Seed:        sm.Next(),
+		})
+		if err != nil {
+			return GeneralBallResult{}, err
+		}
+		for _, p := range pts {
+			s.Process(p)
+		}
+		q, err := s.Query()
+		if err != nil {
+			continue
+		}
+		got++
+		for i, p := range pts {
+			if geom.WithinBall(p, q, alpha) {
+				hits[i]++
+			}
+		}
+	}
+	minH, maxH := hits[0], hits[0]
+	for _, h := range hits {
+		if h < minH {
+			minH = h
+		}
+		if h > maxH {
+			maxH = h
+		}
+	}
+	res := GeneralBallResult{
+		Points:       points,
+		Alpha:        alpha,
+		Runs:         runs,
+		GreedyGroups: gdy.Groups,
+		MinBallFreq:  float64(minH) / float64(max(1, got)),
+		MaxBallFreq:  float64(maxH) / float64(max(1, got)),
+		UniformRef:   1 / float64(gdy.Groups),
+	}
+	if minH > 0 {
+		res.SpreadFactor = float64(maxH) / float64(minH)
+	}
+	return res, nil
+}

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/hash"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/window"
+)
+
+// Integration tests crossing module boundaries: dataset generation +
+// partitions + samplers + estimators working together on the paper's
+// workloads.
+
+func TestIntegrationPaperWorkloadEndToEnd(t *testing.T) {
+	// Build a paper workload, verify its ground truth with the partition
+	// toolkit, sample it, and check the sample lands in a real group.
+	inst := dataset.Build(dataset.Spec{Base: dataset.Yacht, Kind: dataset.DupUniform}, 3)
+	nat := partition.Natural(inst.Points, inst.Alpha)
+	if nat.Groups != inst.NumGroups {
+		t.Fatalf("natural partition %d groups, generator says %d", nat.Groups, inst.NumGroups)
+	}
+	s, err := core.NewSampler(samplerOptions(inst, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range inst.Points {
+		s.Process(p)
+	}
+	q, err := s.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newLabelIndex(inst).of(q); err != nil {
+		t.Fatal(err)
+	}
+	// F0 via the same instance must agree with the partition count.
+	if est := float64(s.AcceptSize()) * float64(s.R()); est < float64(nat.Groups)/3 ||
+		est > float64(nat.Groups)*3 {
+		t.Fatalf("|Sacc|·R = %g far from group count %d", est, nat.Groups)
+	}
+}
+
+func TestIntegrationWindowOverPaperWorkload(t *testing.T) {
+	// Stream a paper workload through the hierarchical window sampler;
+	// every answer must be a stream point of a group seen within the
+	// window.
+	inst := dataset.Build(dataset.Spec{Base: dataset.Seeds, Kind: dataset.DupPowerLaw}, 7)
+	ix := newLabelIndex(inst)
+	ws, err := core.NewWindowSampler(samplerOptions(inst, 9),
+		window.Window{Kind: window.Sequence, W: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastSeen := map[int]int{}
+	for i, p := range inst.Points {
+		ws.Process(p)
+		lastSeen[inst.Groups[i]] = i
+		if i%100 != 99 {
+			continue
+		}
+		q, err := ws.Query()
+		if err != nil {
+			t.Fatalf("point %d: %v", i, err)
+		}
+		g, err := ix.of(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last := lastSeen[g]; last <= i-256 {
+			t.Fatalf("point %d: sampled group %d last seen at %d (window 256)", i, g, last)
+		}
+	}
+}
+
+func TestIntegrationJLThenSample(t *testing.T) {
+	// The paper's Remark 2: project high-dimensional sparse data with a
+	// JL transform, then sample in the projected space. Groups must still
+	// be sampled uniformly after projection.
+	const d, k = 64, 16
+	const alpha = 1.0
+	// 12 groups with radius alpha/4, centers at pairwise distance ≥ 100:
+	// after projection distances shrink/stretch by (1±ε) so the projected
+	// data stays well-separated at the projected threshold.
+	var pts []geom.Point
+	var labels []int
+	sm := hash.NewSplitMix(31)
+	rnd := func() float64 { return float64(sm.Next()>>11) / (1 << 53) }
+	for g := 0; g < 12; g++ {
+		center := make(geom.Point, d)
+		center[g%d] = float64(g) * 100
+		for i := 0; i < 5; i++ {
+			p := center.Clone()
+			for j := range p {
+				p[j] += (rnd() - 0.5) * alpha / 8
+			}
+			pts = append(pts, p)
+			labels = append(labels, g)
+		}
+	}
+	tr := geom.NewJLTransform(d, k, 17)
+	proj := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		proj[i] = tr.Apply(p)
+	}
+	// Projected threshold: α·(1+ε) with slack for the small k.
+	s, err := core.NewSampler(core.Options{Alpha: 1.6 * alpha, Dim: k, Seed: 23, HighDim: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range proj {
+		s.Process(p)
+	}
+	q, err := s.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := -1
+	for i, p := range proj {
+		if geom.WithinBall(p, q, 1.6*alpha) {
+			found = labels[i]
+			break
+		}
+	}
+	if found < 0 {
+		t.Fatal("projected sample not near any projected group")
+	}
+	// Stored group count must match reality (12 groups).
+	if total := s.AcceptSize() + s.RejectSize(); total > 12 {
+		t.Fatalf("%d candidate groups stored for 12 real groups", total)
+	}
+}
+
+func TestIntegrationShardedPaperWorkload(t *testing.T) {
+	// Shard a paper workload across 4 "sites", sketch each, merge all,
+	// and verify uniform sampling — the distributed-streams setting.
+	inst := dataset.Build(dataset.Spec{Base: dataset.Seeds, Kind: dataset.DupUniform}, 11)
+	ix := newLabelIndex(inst)
+	counts := metrics.NewCounts(inst.NumGroups)
+	sm := hash.NewSplitMix(41)
+	const runs = 400
+	for r := 0; r < runs; r++ {
+		opts := samplerOptions(inst, sm.Next())
+		shards := make([]*core.Sampler, 4)
+		for i := range shards {
+			s, err := core.NewSampler(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shards[i] = s
+		}
+		for i, p := range inst.Points {
+			shards[i%4].Process(p)
+		}
+		merged := shards[0]
+		for _, s := range shards[1:] {
+			var err error
+			merged, err = core.Merge(merged, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		q, err := merged.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := ix.of(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts.Observe(g)
+	}
+	// 400 runs over 210 groups: expect multinomial-noise-level deviation.
+	noise := math.Sqrt(float64(inst.NumGroups) / runs)
+	if counts.StdDevNm() > 2.5*noise {
+		t.Fatalf("sharded sampling stdDevNm %.3f ≫ noise floor %.3f",
+			counts.StdDevNm(), noise)
+	}
+}
+
+func TestIntegrationSerializeMidExperiment(t *testing.T) {
+	// Checkpoint/restore in the middle of a paper workload and verify the
+	// final sketch matches a straight run exactly.
+	inst := dataset.Build(dataset.Spec{Base: dataset.Seeds, Kind: dataset.DupPowerLaw}, 13)
+	opts := samplerOptions(inst, 21)
+
+	straight, _ := core.NewSampler(opts)
+	for _, p := range inst.Points {
+		straight.Process(p)
+	}
+
+	first, _ := core.NewSampler(opts)
+	mid := len(inst.Points) / 3
+	for _, p := range inst.Points[:mid] {
+		first.Process(p)
+	}
+	blob, err := first.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := core.UnmarshalSampler(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range inst.Points[mid:] {
+		resumed.Process(p)
+	}
+	if resumed.AcceptSize() != straight.AcceptSize() || resumed.R() != straight.R() {
+		t.Fatalf("resumed sketch diverged: acc %d/%d R %d/%d",
+			resumed.AcceptSize(), straight.AcceptSize(), resumed.R(), straight.R())
+	}
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/hash"
+	"repro/internal/metrics"
+	"repro/internal/window"
+)
+
+// SWDistResult measures the sliding-window sampler's uniformity (an
+// extension — the paper proves Theorem 2.7 but only experiments on the
+// infinite window).
+type SWDistResult struct {
+	Dataset    string
+	Runs       int
+	WindowSize int64
+	LiveGroups int // groups kept alive inside the window
+	StdDevNm   float64
+	MaxDevNm   float64
+	Misses     int
+}
+
+// SWDist streams the dataset's points in a loop, restricted to liveGroups
+// groups rotating through a window of size w, and measures uniformity of
+// the window sample across those groups.
+func SWDist(spec dataset.Spec, runs int, w int64, liveGroups int, seed uint64) (SWDistResult, error) {
+	inst := dataset.Build(spec, seed)
+	// Collect points of the first liveGroups groups, per group.
+	perGroup := make(map[int][]int) // group → stream indices
+	for i, g := range inst.Groups {
+		if g < liveGroups {
+			perGroup[g] = append(perGroup[g], i)
+		}
+	}
+	ix := newLabelIndex(inst)
+	counts := metrics.NewCounts(liveGroups)
+	// Mix the dataset name into the seed stream so each dataset takes an
+	// independent random trajectory, and force a small per-level threshold
+	// (κ0·log2(16) = 4) so the Split/Merge machinery is actually exercised
+	// at these group counts.
+	nameMix := uint64(0)
+	for _, c := range spec.Name() {
+		nameMix = nameMix*131 + uint64(c)
+	}
+	sm := hash.NewSplitMix(seed ^ 0x5d157 ^ nameMix)
+	misses := 0
+	for r := 0; r < runs; r++ {
+		opts := samplerOptions(inst, sm.Next())
+		opts.Kappa = 1
+		opts.StreamBound = 16
+		ws, err := core.NewWindowSampler(opts, window.Window{Kind: window.Sequence, W: w})
+		if err != nil {
+			return SWDistResult{}, err
+		}
+		rng := rand.New(rand.NewPCG(sm.Next(), 1))
+		// Feed 3w points round-robin over a per-run random permutation of
+		// the live groups, picking a random stored point of the group each
+		// time, so every group always has a point in the window.
+		perm := rng.Perm(liveGroups)
+		for i := int64(0); i < 3*w; i++ {
+			g := perm[int(i)%liveGroups]
+			idxs := perGroup[g]
+			ws.Process(inst.Points[idxs[rng.IntN(len(idxs))]])
+		}
+		q, err := ws.Query()
+		if err != nil {
+			misses++
+			continue
+		}
+		g, err := ix.of(q)
+		if err != nil {
+			return SWDistResult{}, err
+		}
+		if g >= liveGroups {
+			misses++
+			continue
+		}
+		counts.Observe(g)
+	}
+	return SWDistResult{
+		Dataset:    spec.Name(),
+		Runs:       runs,
+		WindowSize: w,
+		LiveGroups: liveGroups,
+		StdDevNm:   counts.StdDevNm(),
+		MaxDevNm:   counts.MaxDevNm(),
+		Misses:     misses,
+	}, nil
+}
+
+// SWSpaceResult measures the hierarchical window sampler's space against
+// the number of groups cycling through the window (Theorem 2.7's
+// O(log w · log m) claim).
+type SWSpaceResult struct {
+	Dataset       string
+	WindowSize    int64
+	GroupsInWin   int
+	PeakWords     int
+	Levels        int
+	ThresholdWord int // per-level accept threshold, for scale
+}
+
+// SWSpace feeds a long stream with every point a fresh group (worst case
+// for space) and reports the peak footprint.
+func SWSpace(spec dataset.Spec, w int64, streamLen int, seed uint64) (SWSpaceResult, error) {
+	inst := dataset.Build(spec, seed)
+	opts := samplerOptions(inst, seed^0x59acef)
+	opts.StreamBound = streamLen + 1
+	ws, err := core.NewWindowSampler(opts, window.Window{Kind: window.Sequence, W: w})
+	if err != nil {
+		return SWSpaceResult{}, err
+	}
+	// Recycle dataset points but shift them far apart so every point forms
+	// its own group: x-offset grows by 10 each step (α ≪ 10).
+	for i := 0; i < streamLen; i++ {
+		p := inst.Points[i%len(inst.Points)].Clone()
+		p[0] += float64(i) * 10
+		ws.Process(p)
+	}
+	groupsInWin := int(w)
+	if streamLen < groupsInWin {
+		groupsInWin = streamLen
+	}
+	return SWSpaceResult{
+		Dataset:       spec.Name(),
+		WindowSize:    w,
+		GroupsInWin:   groupsInWin,
+		PeakWords:     ws.PeakSpaceWords(),
+		Levels:        ws.Levels(),
+		ThresholdWord: ws.AcceptThreshold(),
+	}, nil
+}

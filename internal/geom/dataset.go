@@ -1,0 +1,124 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// Dataset is an ordered collection of points; the order is the stream order.
+type Dataset []Point
+
+// Clone returns a deep copy of the dataset.
+func (ds Dataset) Clone() Dataset {
+	out := make(Dataset, len(ds))
+	for i, p := range ds {
+		out[i] = p.Clone()
+	}
+	return out
+}
+
+// Dim returns the dimension of the points, or 0 for an empty dataset.
+// All points in a Dataset are expected to share one dimension.
+func (ds Dataset) Dim() int {
+	if len(ds) == 0 {
+		return 0
+	}
+	return ds[0].Dim()
+}
+
+// MinPairwiseDist returns the minimum Euclidean distance over all pairs of
+// distinct indices. It returns ErrEmptyDataset when fewer than two points
+// are present. The implementation is the O(n²) scan; datasets in this
+// repository are at most a few thousand base points, matching the paper's
+// experimental scale.
+func (ds Dataset) MinPairwiseDist() (float64, error) {
+	if len(ds) < 2 {
+		return 0, ErrEmptyDataset
+	}
+	best := math.Inf(1)
+	for i := 0; i < len(ds); i++ {
+		for j := i + 1; j < len(ds); j++ {
+			if d := SqDist(ds[i], ds[j]); d < best {
+				best = d
+			}
+		}
+	}
+	return math.Sqrt(best), nil
+}
+
+// Rescale multiplies every coordinate of every point by c, in place, and
+// returns the dataset for chaining.
+func (ds Dataset) Rescale(c float64) Dataset {
+	for _, p := range ds {
+		for i := range p {
+			p[i] *= c
+		}
+	}
+	return ds
+}
+
+// NormalizeMinDist rescales the dataset in place so that the minimum
+// pairwise distance becomes exactly 1, reproducing the preprocessing step of
+// the paper's experiments ("rescale the dataset such that the minimum
+// pairwise distance is 1"). Datasets with coincident points (distance 0)
+// or fewer than two points are returned unchanged.
+func (ds Dataset) NormalizeMinDist() Dataset {
+	d, err := ds.MinPairwiseDist()
+	if err != nil || d == 0 {
+		return ds
+	}
+	return ds.Rescale(1 / d)
+}
+
+// Bounds returns per-dimension [min, max] bounding intervals.
+// It returns ErrEmptyDataset for an empty dataset.
+func (ds Dataset) Bounds() (lo, hi Point, err error) {
+	if len(ds) == 0 {
+		return nil, nil, ErrEmptyDataset
+	}
+	lo = ds[0].Clone()
+	hi = ds[0].Clone()
+	for _, p := range ds[1:] {
+		for i, v := range p {
+			if v < lo[i] {
+				lo[i] = v
+			}
+			if v > hi[i] {
+				hi[i] = v
+			}
+		}
+	}
+	return lo, hi, nil
+}
+
+// SeparationRatio computes max β/α over valid (α,β) sparsity certificates
+// of the dataset: with the pairwise distances sorted, the largest ratio
+// between consecutive distinct distance "bands". Concretely it returns the
+// largest multiplicative gap gap = d[i+1]/d[i] over the sorted distinct
+// pairwise distances, together with the α at which that gap occurs (the
+// lower edge). A well-separated dataset per Definition 1.2 has ratio > 2.
+//
+// This is an O(n² log n) diagnostic used by tests and dataset validation,
+// not by the streaming algorithms themselves.
+func (ds Dataset) SeparationRatio() (ratio, alpha float64, err error) {
+	if len(ds) < 2 {
+		return 0, 0, ErrEmptyDataset
+	}
+	dists := make([]float64, 0, len(ds)*(len(ds)-1)/2)
+	for i := 0; i < len(ds); i++ {
+		for j := i + 1; j < len(ds); j++ {
+			dists = append(dists, Dist(ds[i], ds[j]))
+		}
+	}
+	sort.Float64s(dists)
+	ratio, alpha = 1, dists[0]
+	for i := 0; i+1 < len(dists); i++ {
+		if dists[i] == 0 {
+			continue
+		}
+		if g := dists[i+1] / dists[i]; g > ratio {
+			ratio, alpha = g, dists[i]
+		}
+	}
+	return ratio, alpha, nil
+}

@@ -1,0 +1,132 @@
+package geom
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestMinPairwiseDistSmall(t *testing.T) {
+	ds := Dataset{{0, 0}, {3, 4}, {0, 1}}
+	d, err := ds.MinPairwiseDist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-1) > 1e-12 {
+		t.Fatalf("MinPairwiseDist = %g, want 1", d)
+	}
+}
+
+func TestMinPairwiseDistErrors(t *testing.T) {
+	for _, ds := range []Dataset{{}, {{1, 2}}} {
+		if _, err := ds.MinPairwiseDist(); !errors.Is(err, ErrEmptyDataset) {
+			t.Errorf("want ErrEmptyDataset for %d points, got %v", len(ds), err)
+		}
+	}
+}
+
+func TestNormalizeMinDist(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	ds := make(Dataset, 40)
+	for i := range ds {
+		ds[i] = Point{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+	}
+	ds.NormalizeMinDist()
+	d, err := ds.MinPairwiseDist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-1) > 1e-9 {
+		t.Fatalf("after NormalizeMinDist, min pairwise distance = %g, want 1", d)
+	}
+}
+
+func TestNormalizeMinDistDegenerate(t *testing.T) {
+	// Coincident points: scale factor undefined, dataset must be unchanged.
+	ds := Dataset{{1, 1}, {1, 1}}
+	ds.NormalizeMinDist()
+	if !ds[0].Equal(Point{1, 1}) {
+		t.Fatalf("degenerate dataset mutated: %v", ds)
+	}
+	// Single point: unchanged.
+	one := Dataset{{2, 3}}
+	one.NormalizeMinDist()
+	if !one[0].Equal(Point{2, 3}) {
+		t.Fatalf("single-point dataset mutated: %v", one)
+	}
+}
+
+func TestRescaleScalesDistances(t *testing.T) {
+	ds := Dataset{{0, 0}, {1, 0}}
+	ds.Rescale(5)
+	if d := Dist(ds[0], ds[1]); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("distance after rescale = %g, want 5", d)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	ds := Dataset{{1, 5}, {-2, 7}, {0, 6}}
+	lo, hi, err := ds.Bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lo.Equal(Point{-2, 5}) || !hi.Equal(Point{1, 7}) {
+		t.Fatalf("Bounds = %v, %v", lo, hi)
+	}
+	if _, _, err := (Dataset{}).Bounds(); !errors.Is(err, ErrEmptyDataset) {
+		t.Fatalf("empty Bounds error = %v", err)
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	ds := Dataset{{1, 2}}
+	cp := ds.Clone()
+	cp[0][0] = 42
+	if ds[0][0] != 1 {
+		t.Fatal("Clone shares point storage")
+	}
+}
+
+func TestSeparationRatioWellSeparated(t *testing.T) {
+	// Two tight clusters far apart: intra distances ≤ ~0.2, inter ≈ 100.
+	ds := Dataset{
+		{0, 0}, {0.1, 0}, {0, 0.2},
+		{100, 0}, {100.1, 0}, {100, 0.2},
+	}
+	ratio, alpha, err := ds.SeparationRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 100 {
+		t.Fatalf("separation ratio = %g, want ≥ 100", ratio)
+	}
+	if alpha > 0.3 {
+		t.Fatalf("alpha = %g, want the intra-cluster scale", alpha)
+	}
+}
+
+func TestSeparationRatioUniform(t *testing.T) {
+	// Near-uniform data has no big multiplicative gap.
+	rng := rand.New(rand.NewPCG(9, 10))
+	ds := make(Dataset, 60)
+	for i := range ds {
+		ds[i] = Point{rng.Float64(), rng.Float64()}
+	}
+	ratio, _, err := ds.SeparationRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio > 10 {
+		t.Fatalf("uniform data reported separation ratio %g", ratio)
+	}
+}
+
+func TestDatasetDim(t *testing.T) {
+	if (Dataset{}).Dim() != 0 {
+		t.Error("empty dataset Dim should be 0")
+	}
+	if (Dataset{{1, 2, 3}}).Dim() != 3 {
+		t.Error("Dim should be 3")
+	}
+}

@@ -1,0 +1,82 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// JLTransform is a Johnson–Lindenstrauss random projection R^d → R^k with
+// entries drawn i.i.d. from N(0, 1/k), so that for any x,
+// E[‖Tx‖²] = ‖x‖² and pairwise distances are preserved to within (1±ε)
+// for k = Θ(ε⁻²·log n).
+//
+// The paper's Remark 2 uses exactly this to weaken the Section 4 sparsity
+// requirement β > d^1.5·α: project to k = Θ(log^…m) dimensions first, then
+// run the sampler in the projected space with a rescaled threshold.
+type JLTransform struct {
+	rows []Point // k rows of d entries
+	in   int
+	out  int
+}
+
+// NewJLTransform builds a projection from inDim to outDim dimensions with
+// the given seed. Both dimensions must be ≥ 1.
+func NewJLTransform(inDim, outDim int, seed uint64) *JLTransform {
+	if inDim < 1 || outDim < 1 {
+		panic(fmt.Sprintf("geom: bad JL dimensions %d → %d", inDim, outDim))
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x4a4c))
+	scale := 1 / math.Sqrt(float64(outDim))
+	rows := make([]Point, outDim)
+	for i := range rows {
+		row := make(Point, inDim)
+		for j := range row {
+			row[j] = rng.NormFloat64() * scale
+		}
+		rows[i] = row
+	}
+	return &JLTransform{rows: rows, in: inDim, out: outDim}
+}
+
+// InDim and OutDim return the source and target dimensions.
+func (t *JLTransform) InDim() int  { return t.in }
+func (t *JLTransform) OutDim() int { return t.out }
+
+// Apply projects p (dimension InDim) to OutDim dimensions.
+func (t *JLTransform) Apply(p Point) Point {
+	if len(p) != t.in {
+		panic(fmt.Sprintf("geom: JL input dimension %d, want %d", len(p), t.in))
+	}
+	q := make(Point, t.out)
+	for i, row := range t.rows {
+		var s float64
+		for j, v := range row {
+			s += v * p[j]
+		}
+		q[i] = s
+	}
+	return q
+}
+
+// ApplyAll projects a whole dataset.
+func (t *JLTransform) ApplyAll(ds Dataset) Dataset {
+	out := make(Dataset, len(ds))
+	for i, p := range ds {
+		out[i] = t.Apply(p)
+	}
+	return out
+}
+
+// TargetDim returns the standard JL dimension bound ⌈8·ln(n)/ε²⌉ for
+// preserving pairwise distances among n points to within (1±ε).
+func TargetDim(n int, eps float64) int {
+	if n < 2 || !(eps > 0) {
+		return 1
+	}
+	k := int(math.Ceil(8 * math.Log(float64(n)) / (eps * eps)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}

@@ -1,0 +1,99 @@
+package geom
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestJLPreservesDistances(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	const d, n = 200, 40
+	pts := make(Dataset, n)
+	for i := range pts {
+		p := make(Point, d)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		pts[i] = p
+	}
+	k := TargetDim(n, 0.5) // ≈ 118
+	tr := NewJLTransform(d, k, 7)
+	proj := tr.ApplyAll(pts)
+	bad := 0
+	pairs := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs++
+			orig := Dist(pts[i], pts[j])
+			got := Dist(proj[i], proj[j])
+			if got < orig*0.5 || got > orig*1.5 {
+				bad++
+			}
+		}
+	}
+	if bad > pairs/20 {
+		t.Fatalf("%d/%d pairs distorted beyond (1±0.5)", bad, pairs)
+	}
+}
+
+func TestJLNormExpectation(t *testing.T) {
+	// E[‖Tx‖²] = ‖x‖²: average over many transforms.
+	x := Point{3, 4, 0, 0, 0, 0, 0, 0, 0, 0} // ‖x‖² = 25
+	var sum float64
+	const trials = 400
+	for s := uint64(0); s < trials; s++ {
+		tr := NewJLTransform(10, 6, s)
+		sum += tr.Apply(x).SqNorm()
+	}
+	mean := sum / trials
+	if math.Abs(mean-25) > 3 {
+		t.Fatalf("mean projected squared norm %.2f, want ≈25", mean)
+	}
+}
+
+func TestJLDeterministicAndDims(t *testing.T) {
+	a := NewJLTransform(5, 3, 9)
+	b := NewJLTransform(5, 3, 9)
+	p := Point{1, 2, 3, 4, 5}
+	if !a.Apply(p).Equal(b.Apply(p)) {
+		t.Fatal("same seed produced different projections")
+	}
+	if a.InDim() != 5 || a.OutDim() != 3 {
+		t.Fatal("dimension accessors wrong")
+	}
+	if len(a.Apply(p)) != 3 {
+		t.Fatal("projected dimension wrong")
+	}
+}
+
+func TestJLValidation(t *testing.T) {
+	mustPanicGeom(t, func() { NewJLTransform(0, 3, 1) })
+	mustPanicGeom(t, func() { NewJLTransform(3, 0, 1) })
+	tr := NewJLTransform(3, 2, 1)
+	mustPanicGeom(t, func() { tr.Apply(Point{1, 2}) })
+}
+
+func TestTargetDim(t *testing.T) {
+	if TargetDim(1, 0.5) != 1 {
+		t.Error("degenerate n should give 1")
+	}
+	if TargetDim(1000, 0) != 1 {
+		t.Error("degenerate eps should give 1")
+	}
+	k1 := TargetDim(1000, 0.5)
+	k2 := TargetDim(1000, 0.25)
+	if k2 <= k1 {
+		t.Error("smaller eps must need more dimensions")
+	}
+}
+
+func mustPanicGeom(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}

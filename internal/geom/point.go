@@ -1,0 +1,127 @@
+// Package geom provides the Euclidean-space substrate used throughout the
+// repository: points, distances, balls and dataset-level helpers such as
+// rescaling and minimum pairwise distance.
+//
+// The robust ℓ0-sampling algorithms of Chen–Zhang (PODS 2018) operate on
+// points in R^d with a user-chosen distance threshold α; this package holds
+// every purely geometric operation they need so that the sampler packages
+// contain only algorithmic logic.
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Point is a point in d-dimensional Euclidean space. The dimension is
+// len(p). Points are treated as immutable by the algorithms in this module;
+// use Clone before mutating a point that has been handed to a sampler.
+type Point []float64
+
+// Clone returns a deep copy of p.
+func (p Point) Clone() Point {
+	q := make(Point, len(p))
+	copy(q, p)
+	return q
+}
+
+// Dim returns the dimension of the point.
+func (p Point) Dim() int { return len(p) }
+
+// Equal reports whether p and q have identical coordinates.
+func (p Point) Equal(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the point as "(x1, x2, ...)" with compact formatting.
+func (p Point) String() string {
+	out := "("
+	for i, v := range p {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%g", v)
+	}
+	return out + ")"
+}
+
+// Add returns p + q. It panics if dimensions differ.
+func (p Point) Add(q Point) Point {
+	mustSameDim(p, q)
+	r := make(Point, len(p))
+	for i := range p {
+		r[i] = p[i] + q[i]
+	}
+	return r
+}
+
+// Sub returns p − q. It panics if dimensions differ.
+func (p Point) Sub(q Point) Point {
+	mustSameDim(p, q)
+	r := make(Point, len(p))
+	for i := range p {
+		r[i] = p[i] - q[i]
+	}
+	return r
+}
+
+// Scale returns c·p.
+func (p Point) Scale(c float64) Point {
+	r := make(Point, len(p))
+	for i := range p {
+		r[i] = c * p[i]
+	}
+	return r
+}
+
+// Norm returns the Euclidean length of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Sqrt(p.SqNorm()) }
+
+// SqNorm returns the squared Euclidean length of p.
+func (p Point) SqNorm() float64 {
+	var s float64
+	for _, v := range p {
+		s += v * v
+	}
+	return s
+}
+
+// SqDist returns the squared Euclidean distance between p and q.
+// It panics if dimensions differ.
+func SqDist(p, q Point) float64 {
+	mustSameDim(p, q)
+	var s float64
+	for i := range p {
+		d := p[i] - q[i]
+		s += d * d
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between p and q.
+func Dist(p, q Point) float64 { return math.Sqrt(SqDist(p, q)) }
+
+// WithinBall reports whether q lies in the closed ball of radius r centered
+// at p, i.e. d(p,q) ≤ r. It avoids the square root by comparing squares.
+func WithinBall(p, q Point, r float64) bool {
+	return SqDist(p, q) <= r*r
+}
+
+func mustSameDim(p, q Point) {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("geom: dimension mismatch: %d vs %d", len(p), len(q)))
+	}
+}
+
+// ErrEmptyDataset is returned by dataset-level helpers that require at least
+// one point (or, for pairwise statistics, at least two).
+var ErrEmptyDataset = errors.New("geom: dataset has too few points")

@@ -1,0 +1,151 @@
+package geom
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointCloneIndependent(t *testing.T) {
+	p := Point{1, 2, 3}
+	q := p.Clone()
+	q[0] = 99
+	if p[0] != 1 {
+		t.Fatalf("Clone shares storage: p = %v", p)
+	}
+	if !p.Equal(Point{1, 2, 3}) {
+		t.Fatalf("original mutated: %v", p)
+	}
+}
+
+func TestPointEqual(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want bool
+	}{
+		{Point{1, 2}, Point{1, 2}, true},
+		{Point{1, 2}, Point{1, 3}, false},
+		{Point{1, 2}, Point{1, 2, 3}, false},
+		{Point{}, Point{}, true},
+		{nil, Point{}, true},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("Equal(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{1, 2, 3}
+	q := Point{4, 5, 6}
+	if got := p.Add(q); !got.Equal(Point{5, 7, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := q.Sub(p); !got.Equal(Point{3, 3, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); !got.Equal(Point{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Dist(Point{1}, Point{1, 2})
+}
+
+func TestDistKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1, 1}, Point{1, 1, 1}, 0},
+		{Point{-1}, Point{2}, 3},
+		{Point{0, 0, 0, 0}, Point{1, 1, 1, 1}, 2},
+	}
+	for _, c := range cases {
+		if got := Dist(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Dist(%v,%v) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSqDistMatchesDist(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if math.IsNaN(ax) || math.IsNaN(ay) || math.IsNaN(bx) || math.IsNaN(by) {
+			return true
+		}
+		a, b := Point{ax, ay}, Point{bx, by}
+		sq := SqDist(a, b)
+		if math.IsInf(sq, 1) {
+			return true // squared distance overflowed; nothing to compare
+		}
+		d := Dist(a, b)
+		return math.Abs(sq-d*d) <= 1e-9*(1+d*d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistSymmetryAndTriangle(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 200; i++ {
+		d := 1 + rng.IntN(10)
+		p, q, r := randPoint(rng, d), randPoint(rng, d), randPoint(rng, d)
+		if math.Abs(Dist(p, q)-Dist(q, p)) > 1e-12 {
+			t.Fatalf("asymmetric distance for %v, %v", p, q)
+		}
+		if Dist(p, r) > Dist(p, q)+Dist(q, r)+1e-9 {
+			t.Fatalf("triangle inequality violated: %v %v %v", p, q, r)
+		}
+	}
+}
+
+func TestWithinBall(t *testing.T) {
+	p := Point{0, 0}
+	if !WithinBall(p, Point{0, 1}, 1) {
+		t.Error("boundary point should be inside closed ball")
+	}
+	if WithinBall(p, Point{0, 1.0001}, 1) {
+		t.Error("outside point reported inside")
+	}
+	if !WithinBall(p, p, 0) {
+		t.Error("point should be within radius 0 of itself")
+	}
+}
+
+func TestNormMatchesDistToOrigin(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 100; i++ {
+		p := randPoint(rng, 6)
+		origin := make(Point, 6)
+		if math.Abs(p.Norm()-Dist(p, origin)) > 1e-12 {
+			t.Fatalf("Norm mismatch for %v", p)
+		}
+	}
+}
+
+func randPoint(rng *rand.Rand, d int) Point {
+	p := make(Point, d)
+	for i := range p {
+		p[i] = rng.NormFloat64() * 10
+	}
+	return p
+}
+
+func TestPointString(t *testing.T) {
+	if got := (Point{1, 2.5}).String(); got != "(1, 2.5)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Point{}).String(); got != "()" {
+		t.Errorf("String = %q", got)
+	}
+}

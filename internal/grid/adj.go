@@ -1,0 +1,161 @@
+package grid
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Adj returns the keys of all cells C with d(p, C) ≤ radius, computed by a
+// pruned depth-first search generalizing the paper's Algorithms 6–7
+// (Section 6.2).
+//
+// The paper's DFS considers three moves per dimension (snap to the lower
+// cell boundary, stay, snap to the upper boundary), which is exact when the
+// cell side is at least the radius — the Section 4 regime (side = d·α,
+// radius = α). In the 2-dimensional infinite-window regime of Section 2.1
+// the side is α/2 and the radius α, so cells up to two steps away can be
+// within distance α (hence the paper's |adj(p)| ≤ 25 = 5×5 bound). This
+// implementation therefore allows offsets up to ±⌈radius/side⌉ per
+// dimension: offset o > 0 in dimension i costs (o−1)·side + (hi − x_i) of
+// moved distance, o < 0 costs (|o|−1)·side + (x_i − lo), and o = 0 costs
+// nothing. Branches whose accumulated squared distance exceeds radius² are
+// pruned, so for the separation ratios the algorithms require the expected
+// number of explored leaves stays O(1) per point (paper Lemma 4.2).
+//
+// The returned slice includes cell(p) itself and contains no duplicates.
+func (g *Grid) Adj(p geom.Point, radius float64) []CellKey {
+	st := g.newAdjSearch(p, radius, false)
+	st.walk(0, 0)
+	return st.result
+}
+
+// AdjCoords is Adj but returns integer cell coordinates instead of keys;
+// used by tests to compare against the naive enumeration.
+func (g *Grid) AdjCoords(p geom.Point, radius float64) []Coord {
+	st := g.newAdjSearch(p, radius, true)
+	st.walk(0, 0)
+	return st.coords
+}
+
+type adjSearch struct {
+	g      *Grid
+	p      geom.Point
+	r2     float64
+	maxOff int64 // ⌈radius/side⌉
+	coord  Coord // current candidate coordinates, mutated along the DFS
+	base   Coord // coordinates of cell(p)
+	result []CellKey
+	coords []Coord
+	keep   bool // collect coords instead of keys
+}
+
+func (g *Grid) newAdjSearch(p geom.Point, radius float64, keepCoords bool) *adjSearch {
+	base := g.CoordOf(p)
+	maxOff := int64(math.Ceil(radius / g.side))
+	if maxOff < 1 {
+		maxOff = 1
+	}
+	st := &adjSearch{
+		g:      g,
+		p:      p,
+		r2:     radius * radius,
+		maxOff: maxOff,
+		coord:  base.Clone(),
+		base:   base,
+		keep:   keepCoords,
+	}
+	if keepCoords {
+		st.coords = make([]Coord, 0, 8)
+	} else {
+		st.result = make([]CellKey, 0, 8)
+	}
+	return st
+}
+
+// walk explores dimension i having accumulated squared moved distance acc.
+func (s *adjSearch) walk(i int, acc float64) {
+	if acc > s.r2 {
+		return
+	}
+	if i == len(s.p) {
+		if s.keep {
+			s.coords = append(s.coords, s.coord.Clone())
+		} else {
+			s.result = append(s.result, s.coord.Key())
+		}
+		return
+	}
+	x := s.p[i]
+	lo := s.g.shift[i] + float64(s.base[i])*s.g.side
+	dLo := x - lo         // distance down to the lower boundary of cell(p)
+	dHi := s.g.side - dLo // distance up to the upper boundary
+
+	// Offset 0: stay in this cell row at no cost.
+	s.coord[i] = s.base[i]
+	s.walk(i+1, acc)
+
+	// Negative offsets: −1, −2, ... each adds one more full side of travel.
+	for o := int64(1); o <= s.maxOff; o++ {
+		d := dLo + float64(o-1)*s.g.side
+		dd := acc + d*d
+		if dd > s.r2 {
+			break
+		}
+		s.coord[i] = s.base[i] - o
+		s.walk(i+1, dd)
+	}
+
+	// Positive offsets.
+	for o := int64(1); o <= s.maxOff; o++ {
+		d := dHi + float64(o-1)*s.g.side
+		dd := acc + d*d
+		if dd > s.r2 {
+			break
+		}
+		s.coord[i] = s.base[i] + o
+		s.walk(i+1, dd)
+	}
+
+	s.coord[i] = s.base[i]
+}
+
+// AdjNaive enumerates all (2K+1)^d cells with coordinate offsets in
+// [−K, K], K = ⌈radius/side⌉, and filters by d(p, C) ≤ radius. It is the
+// reference implementation for differential tests and the Section 6.2
+// ablation benchmark; use Adj in production code.
+func (g *Grid) AdjNaive(p geom.Point, radius float64) []CellKey {
+	coords := g.AdjNaiveCoords(p, radius)
+	keys := make([]CellKey, len(coords))
+	for i, c := range coords {
+		keys[i] = c.Key()
+	}
+	return keys
+}
+
+// AdjNaiveCoords is AdjNaive returning coordinates.
+func (g *Grid) AdjNaiveCoords(p geom.Point, radius float64) []Coord {
+	base := g.CoordOf(p)
+	k := int64(math.Ceil(radius / g.side))
+	if k < 1 {
+		k = 1
+	}
+	cur := base.Clone()
+	var out []Coord
+	var rec func(i int)
+	rec = func(i int) {
+		if i == g.dim {
+			if g.CellDist(p, cur) <= radius {
+				out = append(out, cur.Clone())
+			}
+			return
+		}
+		for d := -k; d <= k; d++ {
+			cur[i] = base[i] + d
+			rec(i + 1)
+		}
+		cur[i] = base[i]
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,128 @@
+package grid
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestCoordOfBasic(t *testing.T) {
+	g := New(2, 1.0, 0)
+	// With the random shift s, point s+(0.5,0.5) is in cell (0,0).
+	p := geom.Point{g.shift[0] + 0.5, g.shift[1] + 0.5}
+	c := g.CoordOf(p)
+	if c[0] != 0 || c[1] != 0 {
+		t.Fatalf("CoordOf = %v, want (0,0)", c)
+	}
+	q := geom.Point{g.shift[0] + 1.5, g.shift[1] - 0.5}
+	c = g.CoordOf(q)
+	if c[0] != 1 || c[1] != -1 {
+		t.Fatalf("CoordOf = %v, want (1,-1)", c)
+	}
+}
+
+func TestCellOfConsistentWithCoord(t *testing.T) {
+	g := New(3, 0.5, 42)
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 500; i++ {
+		p := randPoint(rng, 3, 10)
+		if g.CellOf(p) != g.CoordOf(p).Key() {
+			t.Fatal("CellOf disagrees with CoordOf().Key()")
+		}
+	}
+}
+
+func TestSamePointSameCellDifferentPointsUsuallyDiffer(t *testing.T) {
+	g := New(2, 1, 7)
+	p := geom.Point{3.3, 4.4}
+	if g.CellOf(p) != g.CellOf(p.Clone()) {
+		t.Fatal("identical points map to different cells")
+	}
+	// Points more than a cell diagonal apart must be in different cells.
+	q := geom.Point{3.3 + 2, 4.4 + 2}
+	if g.CellOf(p) == g.CellOf(q) {
+		t.Fatal("far-apart points share a cell key")
+	}
+}
+
+func TestCoordKeyOrderDependence(t *testing.T) {
+	a := Coord{1, 2}
+	b := Coord{2, 1}
+	if a.Key() == b.Key() {
+		t.Fatal("permuted coordinates share a key")
+	}
+	c := Coord{1, 2, 0}
+	if a.Key() == c.Key() {
+		t.Fatal("coordinates of different dimension share a key")
+	}
+}
+
+func TestCellDistZeroInside(t *testing.T) {
+	g := New(2, 1, 3)
+	p := geom.Point{g.shift[0] + 0.25, g.shift[1] + 0.75}
+	if d := g.CellDist(p, g.CoordOf(p)); d != 0 {
+		t.Fatalf("CellDist to own cell = %g, want 0", d)
+	}
+}
+
+func TestCellDistNeighbors(t *testing.T) {
+	g := New(1, 1, 0)
+	// p sits 0.3 into its cell.
+	p := geom.Point{g.shift[0] + 0.3}
+	base := g.CoordOf(p)
+	left := Coord{base[0] - 1}
+	right := Coord{base[0] + 1}
+	twoLeft := Coord{base[0] - 2}
+	if d := g.CellDist(p, left); !approx(d, 0.3) {
+		t.Errorf("left dist = %g, want 0.3", d)
+	}
+	if d := g.CellDist(p, right); !approx(d, 0.7) {
+		t.Errorf("right dist = %g, want 0.7", d)
+	}
+	if d := g.CellDist(p, twoLeft); !approx(d, 1.3) {
+		t.Errorf("two-left dist = %g, want 1.3", d)
+	}
+}
+
+func TestGridShiftInRange(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		g := New(4, 2.5, seed)
+		for i, s := range g.shift {
+			if s < 0 || s >= 2.5 {
+				t.Fatalf("seed %d: shift[%d] = %g out of [0, 2.5)", seed, i, s)
+			}
+		}
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	mustPanic(t, func() { New(0, 1, 0) })
+	mustPanic(t, func() { New(2, 0, 0) })
+	mustPanic(t, func() { New(2, -1, 0) })
+	g := New(2, 1, 0)
+	mustPanic(t, func() { g.CoordOf(geom.Point{1}) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+func randPoint(rng *rand.Rand, d int, scale float64) geom.Point {
+	p := make(geom.Point, d)
+	for i := range p {
+		p[i] = (rng.Float64() - 0.5) * 2 * scale
+	}
+	return p
+}

@@ -1,0 +1,118 @@
+package hash
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLevelSamplerRateOne(t *testing.T) {
+	ls := NewLevelSampler(NewPRF(5))
+	for x := uint64(0); x < 100; x++ {
+		if !ls.SampledAt(x, 1) {
+			t.Fatalf("rate 1 must sample everything, rejected %d", x)
+		}
+	}
+}
+
+func TestLevelSamplerNesting(t *testing.T) {
+	// Fact 1(b): sampled at 2R ⇒ sampled at R, for every power-of-two chain.
+	for _, seed := range []uint64{1, 2, 3} {
+		ls := NewLevelSampler(NewKWise(8, seed))
+		f := func(x uint64) bool {
+			for r := uint64(1); r <= 1<<20; r *= 2 {
+				if ls.SampledAt(x, 2*r) && !ls.SampledAt(x, r) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("seed %d: nesting violated: %v", seed, err)
+		}
+	}
+}
+
+func TestLevelSamplerRate(t *testing.T) {
+	// Empirical rate at R=8 should be ≈ 1/8 over many keys.
+	ls := NewLevelSampler(NewPRF(11))
+	const n = 80000
+	hits := 0
+	for x := uint64(0); x < n; x++ {
+		if ls.SampledAt(x, 8) {
+			hits++
+		}
+	}
+	want := n / 8
+	if hits < want*9/10 || hits > want*11/10 {
+		t.Fatalf("rate-1/8 sampler hit %d of %d (want ≈%d)", hits, n, want)
+	}
+}
+
+func TestLevelSamplerPanicsOnBadRate(t *testing.T) {
+	ls := NewLevelSampler(NewPRF(1))
+	for _, r := range []uint64{0, 3, 6, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for rate %d", r)
+				}
+			}()
+			ls.SampledAt(1, r)
+		}()
+	}
+}
+
+func TestLevelDistribution(t *testing.T) {
+	// Level(x) is geometric: P[level ≥ l] = 2^-l. Check the mean ≈ 1.
+	ls := NewLevelSampler(NewPRF(13))
+	const n = 50000
+	var sum int
+	maxSeen := 0
+	for x := uint64(0); x < n; x++ {
+		l := ls.Level(x, 40)
+		sum += l
+		if l > maxSeen {
+			maxSeen = l
+		}
+	}
+	mean := float64(sum) / n
+	if mean < 0.9 || mean > 1.1 {
+		t.Fatalf("mean level = %.3f, want ≈1", mean)
+	}
+	// Max of n geometrics concentrates near log2 n ≈ 15.6.
+	if maxSeen < 11 || maxSeen > 26 {
+		t.Fatalf("max level = %d, want ≈ log2(%d)", maxSeen, n)
+	}
+}
+
+func TestLevelCapped(t *testing.T) {
+	ls := NewLevelSampler(NewPRF(17))
+	for x := uint64(0); x < 1000; x++ {
+		if l := ls.Level(x, 3); l > 3 {
+			t.Fatalf("Level returned %d above cap 3", l)
+		}
+	}
+}
+
+func TestLevelConsistentWithSampledAt(t *testing.T) {
+	// SampledAt(x, 2^l) should hold iff Level(x, cap) ≥ l.
+	ls := NewLevelSampler(NewKWise(10, 23))
+	for x := uint64(0); x < 2000; x++ {
+		lvl := ls.Level(x, 30)
+		for l := 0; l <= 12; l++ {
+			want := l <= lvl
+			if got := ls.SampledAt(x, uint64(1)<<l); got != want {
+				t.Fatalf("x=%d level=%d: SampledAt(2^%d)=%v, want %v", x, lvl, l, got, want)
+			}
+		}
+	}
+}
+
+func TestNewLevelSamplerNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil hash")
+		}
+	}()
+	NewLevelSampler(nil)
+}

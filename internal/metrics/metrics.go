@@ -1,0 +1,127 @@
+// Package metrics implements the paper's Section 6.1 measurements: the
+// normalized deviation statistics of empirical sampling distributions
+// (stdDevNm, maxDevNm), a sampling-count collector, and small helpers for
+// timing and word-based space reporting.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Counts accumulates how many times each of n groups was returned by
+// repeated sampling runs.
+type Counts struct {
+	counts []int64
+	total  int64
+}
+
+// NewCounts creates a collector over n groups.
+func NewCounts(n int) *Counts {
+	if n < 1 {
+		panic(fmt.Sprintf("metrics: need at least one group, got %d", n))
+	}
+	return &Counts{counts: make([]int64, n)}
+}
+
+// Observe records that group g was sampled once.
+func (c *Counts) Observe(g int) {
+	c.counts[g]++
+	c.total++
+}
+
+// N returns the number of groups; Total the number of observations.
+func (c *Counts) N() int            { return len(c.counts) }
+func (c *Counts) Total() int64      { return c.total }
+func (c *Counts) Count(g int) int64 { return c.counts[g] }
+
+// Frequencies returns the empirical sampling probability of each group.
+func (c *Counts) Frequencies() []float64 {
+	out := make([]float64, len(c.counts))
+	if c.total == 0 {
+		return out
+	}
+	for i, v := range c.counts {
+		out[i] = float64(v) / float64(c.total)
+	}
+	return out
+}
+
+// StdDevNm is the paper's stdDevNm: the standard deviation of the
+// empirical sampling distribution normalized by the target probability
+// f* = 1/n. A perfectly uniform sampler gives 0; the paper reports ≤ 0.1
+// on all eight datasets.
+func (c *Counts) StdDevNm() float64 {
+	n := len(c.counts)
+	target := 1 / float64(n)
+	freqs := c.Frequencies()
+	var ss float64
+	for _, f := range freqs {
+		d := f - target
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(n)) / target
+}
+
+// MaxDevNm is the paper's maxDevNm: max_i |f_i − f*| / f*. The paper
+// reports ≤ 0.2 on all eight datasets.
+func (c *Counts) MaxDevNm() float64 {
+	n := len(c.counts)
+	target := 1 / float64(n)
+	var worst float64
+	for _, f := range c.Frequencies() {
+		if d := math.Abs(f - target); d > worst {
+			worst = d
+		}
+	}
+	return worst / target
+}
+
+// ChiSquare returns the χ² statistic of the counts against the uniform
+// distribution, Σ (O_i − E)² / E with E = total/n. Under uniformity it
+// concentrates around n−1 degrees of freedom; tests use a generous
+// multiple of n as the acceptance bound.
+func (c *Counts) ChiSquare() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	e := float64(c.total) / float64(len(c.counts))
+	var chi float64
+	for _, o := range c.counts {
+		d := float64(o) - e
+		chi += d * d / e
+	}
+	return chi
+}
+
+// Timer measures per-item processing time the way the paper does
+// (pTime: total scan time divided by stream length, averaged over runs).
+type Timer struct {
+	total time.Duration
+	items int64
+	runs  int
+}
+
+// AddRun records one full stream scan of n items taking d.
+func (t *Timer) AddRun(d time.Duration, n int64) {
+	t.total += d
+	t.items += n
+	t.runs++
+}
+
+// PerItem returns the average processing time per item across runs.
+func (t *Timer) PerItem() time.Duration {
+	if t.items == 0 {
+		return 0
+	}
+	return time.Duration(int64(t.total) / t.items)
+}
+
+// Runs returns how many scans were recorded.
+func (t *Timer) Runs() int { return t.runs }
+
+// RelErr returns |est − truth| / truth; truth must be non-zero.
+func RelErr(est, truth float64) float64 {
+	return math.Abs(est-truth) / math.Abs(truth)
+}

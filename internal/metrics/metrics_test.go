@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+func TestCountsUniformPerfect(t *testing.T) {
+	c := NewCounts(4)
+	for g := 0; g < 4; g++ {
+		for i := 0; i < 25; i++ {
+			c.Observe(g)
+		}
+	}
+	if c.Total() != 100 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	if d := c.StdDevNm(); d != 0 {
+		t.Errorf("StdDevNm = %g, want 0 for perfect uniformity", d)
+	}
+	if d := c.MaxDevNm(); d != 0 {
+		t.Errorf("MaxDevNm = %g, want 0", d)
+	}
+	if chi := c.ChiSquare(); chi != 0 {
+		t.Errorf("ChiSquare = %g, want 0", chi)
+	}
+}
+
+func TestCountsKnownDeviation(t *testing.T) {
+	// Two groups, frequencies 0.75/0.25; target 0.5.
+	c := NewCounts(2)
+	for i := 0; i < 75; i++ {
+		c.Observe(0)
+	}
+	for i := 0; i < 25; i++ {
+		c.Observe(1)
+	}
+	// |f−f*|/f* = 0.25/0.5 = 0.5 for both groups.
+	if d := c.MaxDevNm(); math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("MaxDevNm = %g, want 0.5", d)
+	}
+	if d := c.StdDevNm(); math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("StdDevNm = %g, want 0.5", d)
+	}
+}
+
+func TestCountsEmpty(t *testing.T) {
+	c := NewCounts(3)
+	for _, f := range c.Frequencies() {
+		if f != 0 {
+			t.Fatal("frequencies of empty counts must be 0")
+		}
+	}
+	if c.ChiSquare() != 0 {
+		t.Fatal("chi-square of empty counts must be 0")
+	}
+}
+
+func TestCountsRandomSamplerStatistics(t *testing.T) {
+	// A genuinely uniform sampler over n groups with many runs must show
+	// small normalized deviations (this is what Figure 15 reports).
+	rng := rand.New(rand.NewPCG(1, 2))
+	const n, runs = 100, 200000
+	c := NewCounts(n)
+	for i := 0; i < runs; i++ {
+		c.Observe(rng.IntN(n))
+	}
+	if d := c.StdDevNm(); d > 0.1 {
+		t.Errorf("uniform sampler StdDevNm = %g, want ≤ 0.1", d)
+	}
+	if d := c.MaxDevNm(); d > 0.2 {
+		t.Errorf("uniform sampler MaxDevNm = %g, want ≤ 0.2", d)
+	}
+	// χ² concentrates near n−1; allow a wide band.
+	if chi := c.ChiSquare(); chi > 2*float64(n) {
+		t.Errorf("uniform sampler ChiSquare = %g, want ≈ %d", chi, n-1)
+	}
+}
+
+func TestCountsBiasedSamplerDetected(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	const n, runs = 50, 100000
+	c := NewCounts(n)
+	for i := 0; i < runs; i++ {
+		// Group 0 gets 10x the probability mass of the others.
+		if rng.Float64() < 10.0/float64(n+9) {
+			c.Observe(0)
+		} else {
+			c.Observe(1 + rng.IntN(n-1))
+		}
+	}
+	if d := c.MaxDevNm(); d < 1 {
+		t.Errorf("biased sampler MaxDevNm = %g, want large", d)
+	}
+}
+
+func TestNewCountsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n < 1")
+		}
+	}()
+	NewCounts(0)
+}
+
+func TestTimer(t *testing.T) {
+	var tm Timer
+	tm.AddRun(100*time.Millisecond, 1000)
+	tm.AddRun(300*time.Millisecond, 1000)
+	if got := tm.PerItem(); got != 200*time.Microsecond {
+		t.Fatalf("PerItem = %v, want 200µs", got)
+	}
+	if tm.Runs() != 2 {
+		t.Fatalf("Runs = %d", tm.Runs())
+	}
+}
+
+func TestTimerEmpty(t *testing.T) {
+	var tm Timer
+	if tm.PerItem() != 0 {
+		t.Fatal("empty timer PerItem must be 0")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if e := RelErr(110, 100); math.Abs(e-0.1) > 1e-12 {
+		t.Fatalf("RelErr = %g, want 0.1", e)
+	}
+	if e := RelErr(90, 100); math.Abs(e-0.1) > 1e-12 {
+		t.Fatalf("RelErr = %g, want 0.1", e)
+	}
+}

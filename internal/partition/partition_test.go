@@ -1,0 +1,203 @@
+package partition
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// clusteredDataset builds k tight clusters of given size with centers far
+// apart; returns the dataset and the true group of each point.
+func clusteredDataset(rng *rand.Rand, k, perGroup, dim int, radius, spacing float64) (geom.Dataset, []int) {
+	var ds geom.Dataset
+	var truth []int
+	for c := 0; c < k; c++ {
+		center := make(geom.Point, dim)
+		for j := range center {
+			center[j] = float64(c)*spacing + rng.Float64()
+		}
+		for i := 0; i < perGroup; i++ {
+			p := make(geom.Point, dim)
+			for j := range p {
+				p[j] = center[j] + (rng.Float64()-0.5)*radius
+			}
+			ds = append(ds, p)
+			truth = append(truth, c)
+		}
+	}
+	return ds, truth
+}
+
+func TestNaturalRecoversClusters(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	ds, truth := clusteredDataset(rng, 10, 8, 3, 0.1, 50)
+	p := Natural(ds, 1.0)
+	if p.Groups != 10 {
+		t.Fatalf("Natural found %d groups, want 10", p.Groups)
+	}
+	// Same truth group ⇔ same partition group.
+	for i := range ds {
+		for j := i + 1; j < len(ds); j++ {
+			same := truth[i] == truth[j]
+			got := p.Assign[i] == p.Assign[j]
+			if same != got {
+				t.Fatalf("points %d,%d: truth same=%v, partition same=%v", i, j, same, got)
+			}
+		}
+	}
+}
+
+func TestNaturalEmptyAndSingle(t *testing.T) {
+	if p := Natural(nil, 1); p.Groups != 0 {
+		t.Errorf("empty dataset: %d groups", p.Groups)
+	}
+	p := Natural(geom.Dataset{{1, 2}}, 1)
+	if p.Groups != 1 || p.Assign[0] != 0 {
+		t.Errorf("single point: %+v", p)
+	}
+}
+
+func TestNaturalChainLinks(t *testing.T) {
+	// Single-linkage semantics: a chain of points each within α links into
+	// one component even though the endpoints are > α apart.
+	ds := geom.Dataset{{0, 0}, {0.9, 0}, {1.8, 0}}
+	p := Natural(ds, 1.0)
+	if p.Groups != 1 {
+		t.Fatalf("chain should link into one component, got %d", p.Groups)
+	}
+}
+
+func TestGreedyDatasetOrder(t *testing.T) {
+	// Greedy on the same chain: first point opens Ball(p1, 1) capturing
+	// p2 but not p3, so 2 groups.
+	ds := geom.Dataset{{0, 0}, {0.9, 0}, {1.8, 0}}
+	p := Greedy(ds, 1.0, nil)
+	if p.Groups != 2 {
+		t.Fatalf("greedy chain groups = %d, want 2", p.Groups)
+	}
+	if p.Assign[0] != p.Assign[1] || p.Assign[0] == p.Assign[2] {
+		t.Fatalf("greedy assignment %v", p.Assign)
+	}
+}
+
+func TestGreedyCustomOrder(t *testing.T) {
+	// Starting from the middle point captures the whole chain in one group.
+	ds := geom.Dataset{{0, 0}, {0.9, 0}, {1.8, 0}}
+	p := Greedy(ds, 1.0, []int{1, 0, 2})
+	if p.Groups != 1 {
+		t.Fatalf("middle-first greedy groups = %d, want 1", p.Groups)
+	}
+}
+
+func TestGreedyMatchesNaturalOnWellSeparated(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	ds, _ := clusteredDataset(rng, 15, 6, 4, 0.2, 100)
+	nat := Natural(ds, 1.0)
+	for trial := 0; trial < 5; trial++ {
+		order := rng.Perm(len(ds))
+		gdy := Greedy(ds, 1.0, order)
+		if gdy.Groups != nat.Groups {
+			t.Fatalf("well-separated: greedy %d groups vs natural %d", gdy.Groups, nat.Groups)
+		}
+	}
+}
+
+// TestGreedyConstantFactor exercises Lemma 3.3 empirically: on arbitrary
+// (non-separated) data, greedy group counts for different orders are
+// within a small constant factor of each other.
+func TestGreedyConstantFactor(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	ds := make(geom.Dataset, 300)
+	for i := range ds {
+		ds[i] = geom.Point{rng.Float64() * 10, rng.Float64() * 10}
+	}
+	minG, maxG := math.MaxInt, 0
+	for trial := 0; trial < 10; trial++ {
+		p := Greedy(ds, 1.0, rng.Perm(len(ds)))
+		if p.Groups < minG {
+			minG = p.Groups
+		}
+		if p.Groups > maxG {
+			maxG = p.Groups
+		}
+	}
+	if maxG > 4*minG {
+		t.Fatalf("greedy counts vary too much: [%d, %d]", minG, maxG)
+	}
+}
+
+func TestGreedyGroupRadius(t *testing.T) {
+	// Every greedy group lies in a ball of radius α around its opener, so
+	// its diameter is at most 2α.
+	rng := rand.New(rand.NewPCG(9, 10))
+	ds := make(geom.Dataset, 200)
+	for i := range ds {
+		ds[i] = geom.Point{rng.Float64() * 5, rng.Float64() * 5}
+	}
+	const alpha = 0.8
+	p := Greedy(ds, alpha, nil)
+	if d := Diameter(ds, p); d > 2*alpha+1e-9 {
+		t.Fatalf("greedy group diameter %g > 2α", d)
+	}
+}
+
+func TestDiameterAndMinInterDist(t *testing.T) {
+	ds := geom.Dataset{{0, 0}, {1, 0}, {10, 0}, {11, 0}}
+	p := Partition{Groups: 2, Assign: []int{0, 0, 1, 1}}
+	if d := Diameter(ds, p); !approx(d, 1) {
+		t.Errorf("Diameter = %g, want 1", d)
+	}
+	if d := MinInterDist(ds, p); !approx(d, 9) {
+		t.Errorf("MinInterDist = %g, want 9", d)
+	}
+	one := Partition{Groups: 1, Assign: []int{0, 0, 0, 0}}
+	if d := MinInterDist(ds, one); !math.IsInf(d, 1) {
+		t.Errorf("single group MinInterDist = %g, want +Inf", d)
+	}
+}
+
+func TestIsWellSeparated(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	good, _ := clusteredDataset(rng, 8, 5, 3, 0.2, 80)
+	if !IsWellSeparated(good, 1.0) {
+		t.Error("clustered data should be well-separated at α=1")
+	}
+	// Uniform points at scale ~1 are not well-separated at α=1.
+	bad := make(geom.Dataset, 100)
+	for i := range bad {
+		bad[i] = geom.Point{rng.Float64() * 5, rng.Float64() * 5}
+	}
+	if IsWellSeparated(bad, 1.0) {
+		t.Error("uniform data reported well-separated")
+	}
+}
+
+func TestPartitionSizes(t *testing.T) {
+	p := Partition{Groups: 3, Assign: []int{0, 1, 1, 2, 2, 2}}
+	sizes := p.Sizes()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("Sizes = %v, want %v", sizes, want)
+		}
+	}
+	if p.GroupOf(3) != 2 {
+		t.Error("GroupOf(3) != 2")
+	}
+}
+
+func TestGreedyBadOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong-length order")
+		}
+	}()
+	Greedy(geom.Dataset{{0}}, 1, []int{0, 1})
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

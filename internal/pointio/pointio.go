@@ -1,0 +1,86 @@
+// Package pointio parses streams of points from text input for the CLI
+// tools: one point per line, whitespace- or comma-separated coordinates,
+// with blank lines and '#' comments skipped.
+package pointio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// ReadPoints parses all points of dimension dim from r. It fails on the
+// first malformed line (with its line number) and on empty input.
+func ReadPoints(r io.Reader, dim int) ([]geom.Point, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("pointio: dimension must be ≥ 1, got %d", dim)
+	}
+	var pts []geom.Point
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		p, err := ParsePoint(text, dim)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		pts = append(pts, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("pointio: no points in input")
+	}
+	return pts, nil
+}
+
+// ParsePoint parses a single line of dim coordinates.
+func ParsePoint(text string, dim int) (geom.Point, error) {
+	fields := strings.FieldsFunc(text, func(r rune) bool {
+		return r == ',' || r == ' ' || r == '\t'
+	})
+	if len(fields) != dim {
+		return nil, fmt.Errorf("%d coordinates, want %d", len(fields), dim)
+	}
+	p := make(geom.Point, dim)
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad coordinate %q: %v", f, err)
+		}
+		p[i] = v
+	}
+	return p, nil
+}
+
+// WritePoints renders points one per line with space-separated
+// coordinates, the inverse of ReadPoints.
+func WritePoints(w io.Writer, pts []geom.Point) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range pts {
+		for i, v := range p {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

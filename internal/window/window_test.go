@@ -1,0 +1,70 @@
+package window
+
+import "testing"
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		w    Window
+		ok   bool
+		name string
+	}{
+		{Window{Sequence, 1}, true, "sequence width 1"},
+		{Window{Time, 100}, true, "time width 100"},
+		{Window{Sequence, 0}, false, "zero width"},
+		{Window{Time, -5}, false, "negative width"},
+		{Window{Kind(9), 10}, false, "unknown kind"},
+	}
+	for _, c := range cases {
+		err := c.w.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestExpiredSequence(t *testing.T) {
+	w := Window{Sequence, 5}
+	// Window at now=10 contains stamps 6..10.
+	for stamp := int64(6); stamp <= 10; stamp++ {
+		if w.Expired(stamp, 10) {
+			t.Errorf("stamp %d should be live at now=10", stamp)
+		}
+	}
+	for stamp := int64(1); stamp <= 5; stamp++ {
+		if !w.Expired(stamp, 10) {
+			t.Errorf("stamp %d should be expired at now=10", stamp)
+		}
+	}
+}
+
+func TestExpiredWidthOne(t *testing.T) {
+	w := Window{Sequence, 1}
+	if w.Expired(10, 10) {
+		t.Error("the current item must be live in a width-1 window")
+	}
+	if !w.Expired(9, 10) {
+		t.Error("the previous item must be expired in a width-1 window")
+	}
+}
+
+func TestExpiredTime(t *testing.T) {
+	w := Window{Time, 100}
+	if w.Expired(901, 1000) {
+		t.Error("stamp 901 live at now=1000 with width 100")
+	}
+	if !w.Expired(900, 1000) {
+		t.Error("stamp 900 expired at now=1000 with width 100")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Sequence.String() != "sequence" || Time.String() != "time" {
+		t.Error("Kind.String mismatch")
+	}
+	if Kind(7).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
