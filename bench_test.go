@@ -21,11 +21,13 @@ package repro
 
 import (
 	"fmt"
+	"math/rand/v2"
 	"testing"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/f0"
 	"repro/internal/geom"
 	"repro/internal/grid"
@@ -285,6 +287,68 @@ func BenchmarkSerialize(b *testing.B) {
 		if _, err := core.UnmarshalSampler(out); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEngineProcess measures sharded ingestion throughput of the
+// streaming engine across shard counts (ns/op is per point). The
+// workload has a high distinct-group rate, so per-point sketch work
+// dominates the router and the throughput should scale near-linearly in
+// shards until the machine runs out of cores: expect ≥ 2× the
+// single-shard rate at 4 shards on a 4+ core machine.
+func BenchmarkEngineProcess(b *testing.B) {
+	const chunk = 512
+	rng := rand.New(rand.NewPCG(41, 43))
+	pts := make([]geom.Point, 1<<16)
+	for i := range pts {
+		pts[i] = geom.Point{rng.Float64() * 4096, rng.Float64() * 4096}
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			opts := core.Options{Alpha: 1, Dim: 2, Seed: 9, StreamBound: 1 << 21, HighDim: true}
+			eng, err := engine.NewSamplerEngine(opts, engine.Config{Shards: shards, BatchSize: chunk})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n += chunk {
+				lo := n % (len(pts) - chunk)
+				hi := min(lo+chunk, lo+(b.N-n))
+				eng.ProcessBatch(pts[lo:hi])
+			}
+			eng.Drain()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pts/s")
+			eng.Close()
+		})
+	}
+}
+
+// BenchmarkProcessBatch measures the batched single-sampler ingestion
+// path (duplicate cache + entry pooling) against the same stream fed
+// point by point via BenchmarkProcess.
+func BenchmarkProcessBatch(b *testing.B) {
+	for _, spec := range []dataset.Spec{
+		{Base: dataset.Seeds, Kind: dataset.DupUniform},
+		{Base: dataset.Rand5, Kind: dataset.DupPowerLaw},
+	} {
+		spec := spec
+		b.Run(spec.Name(), func(b *testing.B) {
+			inst := dataset.Build(spec, 1)
+			s, err := core.NewSampler(benchOptions(inst, 2))
+			if err != nil {
+				b.Fatal(err)
+			}
+			const chunk = 256
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n += chunk {
+				lo := n % (len(inst.Points) - chunk)
+				hi := min(lo+chunk, lo+(b.N-n))
+				s.ProcessBatch(inst.Points[lo:hi])
+			}
+		})
 	}
 }
 

@@ -14,6 +14,7 @@
 //	experiments -exp f0     [-eps E]                              Section 5
 //	experiments -exp f0win  [-window W] [-groups G] [-eps E]      Section 5
 //	experiments -exp ablate [-runs N]                             design ablations
+//	experiments -exp engine [-shards P] [-runs scans]             sharded engine scaling
 //	experiments -exp all                                          everything above
 //
 // Paper-scale run counts (200k–500k) reproduce Figure 15's headline
@@ -26,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/experiments"
@@ -41,6 +43,7 @@ func main() {
 		groups  = flag.Int("groups", 64, "live groups for sliding-window experiments")
 		eps     = flag.Float64("eps", 0.25, "accuracy parameter for F0 experiments")
 		csvOut  = flag.String("csv", "", "for -exp dist: write per-group frequencies (the Figures 5–12 series) to this CSV file")
+		shards  = flag.Int("shards", 0, "for -exp engine: max shard count to sweep (0 = scale with cores)")
 	)
 	flag.Parse()
 
@@ -63,7 +66,7 @@ func main() {
 	}
 	known := map[string]bool{"dist": true, "time": true, "space": true, "bias": true,
 		"swdist": true, "swspace": true, "f0": true, "f0win": true, "ablate": true,
-		"general": true, "all": true}
+		"general": true, "engine": true, "all": true}
 	if !known[*exp] {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
@@ -78,6 +81,27 @@ func main() {
 	run("f0win", func() error { return f0WinExp(specs, *windowW, *groups, *eps, *seed) })
 	run("ablate", func() error { return ablateExp(specs, orDefault(*runs, 300), *seed) })
 	run("general", func() error { return generalExp(orDefault(*runs, 2000), *seed) })
+	run("engine", func() error { return engineExp(specs, *shards, orDefault(*runs, 10), *seed) })
+}
+
+func engineExp(specs []dataset.Spec, maxShards, scans int, seed uint64) error {
+	if maxShards <= 0 {
+		maxShards = experiments.MaxEngineShards()
+	}
+	w := table("Extension: sharded streaming engine — ingestion scaling and merged-snapshot accuracy",
+		"dataset", "shards", "points", "elapsed", "pts/s", "estimate", "relErr", "imbalance")
+	for _, s := range specs {
+		rs, err := experiments.EngineScaling(s, maxShards, scans, seed)
+		if err != nil {
+			return err
+		}
+		for _, r := range rs {
+			fmt.Fprintf(w, "%s\t%d\t%d\t%v\t%.0f\t%.0f\t%.3f\t%.2f\n",
+				r.Dataset, r.Shards, r.Points, r.Elapsed.Round(time.Millisecond),
+				r.Throughput, r.Estimate, r.RelErr, r.Imbalance)
+		}
+	}
+	return w.Flush()
 }
 
 func orDefault(v, def int) int {

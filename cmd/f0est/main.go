@@ -6,9 +6,12 @@
 //	f0est -alpha 0.5 -dim 3 -eps 0.2 < points.txt
 //	f0est -dataset rand5-pl
 //	f0est -dataset seeds -window 1024
+//	f0est -dataset rand5-pl -shards 8
 //
 // Input format matches l0sample: one point per line, whitespace- or
-// comma-separated coordinates.
+// comma-separated coordinates. With -shards P > 1 (infinite window only)
+// the stream is partitioned across P parallel estimator shards and the
+// estimate is taken from the merged snapshot.
 package main
 
 import (
@@ -16,13 +19,13 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/f0"
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/pointio"
 	"repro/internal/window"
+	"repro/pkg/sketch"
 )
 
 func main() {
@@ -35,6 +38,7 @@ func main() {
 		copies  = flag.Int("copies", 9, "median-boosting copies")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		windowW = flag.Int64("window", 0, "sliding window size (0 = infinite window)")
+		shards  = flag.Int("shards", 1, "partition the stream across N parallel estimator shards (infinite window only)")
 	)
 	flag.Parse()
 
@@ -44,44 +48,74 @@ func main() {
 	}
 
 	if *windowW > 0 {
+		if *shards > 1 {
+			fatal(fmt.Errorf("-shards does not support sliding windows yet"))
+		}
 		opts.Kappa = 1
 		opts.StreamBound = 16
-		we, err := f0.NewWindowEstimator(opts, window.Window{Kind: window.Sequence, W: *windowW}, *eps, 0)
+		we, err := sketch.NewWindowF0(opts, window.Window{Kind: window.Sequence, W: *windowW}, *eps)
 		if err != nil {
 			fatal(err)
 		}
-		for _, p := range pts {
-			we.Process(p)
-		}
-		est, err := we.Estimate()
+		we.ProcessBatch(pts)
+		res, err := we.Query()
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("robust F0 of last %d points: %.1f (%d copies, %d words)\n",
-			*windowW, est, we.Copies(), we.SpaceWords())
+			*windowW, res.Estimate, we.Estimator().Copies(), we.Space())
 		return
 	}
 
-	med, err := f0.NewMedian(opts, *eps, 0, *copies)
+	// The robust estimator and the duplicate-blind baselines all ride the
+	// unified sketch interface; the robust one optionally sharded.
+	var robust interface {
+		ProcessBatch(ps []geom.Point)
+		Query() (sketch.Result, error)
+	}
+	var eng *engine.Engine
+	if *shards > 1 {
+		eng, err = engine.NewF0Engine(opts, *eps, *copies, engine.Config{Shards: *shards})
+		if err != nil {
+			fatal(err)
+		}
+		robust = eng
+	} else {
+		med, err := sketch.NewF0(opts, *eps, *copies)
+		if err != nil {
+			fatal(err)
+		}
+		robust = med
+	}
+	kmv := sketch.NewKMV(1024, *seed^0x1234)
+	hll := sketch.NewHyperLogLog(12, *seed^0x5678)
+	robust.ProcessBatch(pts)
+	// Capture engine stats before the baselines run, so the reported
+	// throughput reflects the sharded ingestion only.
+	var engStats engine.Stats
+	if eng != nil {
+		eng.Drain()
+		engStats = eng.Stats()
+	}
+	kmv.ProcessBatch(pts)
+	hll.ProcessBatch(pts)
+	res, err := robust.Query()
 	if err != nil {
 		fatal(err)
 	}
-	kmv := baseline.NewKMV(1024, *seed^0x1234)
-	hll := baseline.NewHyperLogLog(12, *seed^0x5678)
-	for _, p := range pts {
-		med.Process(p)
-		kmv.Process(p)
-		hll.Process(p)
-	}
-	est, err := med.Estimate()
-	if err != nil {
-		fatal(err)
-	}
+	kmvRes, _ := kmv.Query()
+	hllRes, _ := hll.Query()
 	fmt.Printf("stream length:              %d\n", len(pts))
-	fmt.Printf("robust F0 (α=%g):           %.1f\n", opts.Alpha, est)
-	fmt.Printf("duplicate-blind KMV:        %.1f\n", kmv.Estimate())
-	fmt.Printf("duplicate-blind HyperLogLog %.1f\n", hll.Estimate())
-	fmt.Printf("sketch: %d words across %d copies\n", med.SpaceWords(), *copies)
+	fmt.Printf("robust F0 (α=%g):           %.1f\n", opts.Alpha, res.Estimate)
+	fmt.Printf("duplicate-blind KMV:        %.1f\n", kmvRes.Estimate)
+	fmt.Printf("duplicate-blind HyperLogLog %.1f\n", hllRes.Estimate)
+	if eng != nil {
+		fmt.Printf("sketch: %d copies × %d shards, %d words total (%.0f pts/s)\n",
+			*copies, engStats.Shards, engStats.SpaceWords, engStats.Throughput)
+		eng.Close()
+	} else {
+		fmt.Printf("sketch: %d words across %d copies\n", robust.(*sketch.F0).Space(), *copies)
+	}
 }
 
 func loadPoints(ds, in string, alpha float64, dim int, seed uint64) ([]geom.Point, core.Options, error) {

@@ -8,10 +8,14 @@
 //	l0sample -alpha 0.5 -dim 3 < points.txt
 //	l0sample -dataset rand5 -k 3
 //	l0sample -alpha 0.5 -dim 2 -window 1000 < points.txt
+//	l0sample -dataset rand5 -shards 8
 //
 // With -window W a sliding-window sampler is used and a sample of the last
 // W points is printed at end of stream; otherwise the whole stream is
-// sampled. -k requests k samples without replacement.
+// sampled. -k requests k samples without replacement. With -shards P > 1
+// (infinite window only) the stream is partitioned across P parallel
+// sketch workers by the sharded engine and queries are answered from the
+// merged snapshot.
 package main
 
 import (
@@ -22,9 +26,11 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/pointio"
 	"repro/internal/window"
+	"repro/pkg/sketch"
 )
 
 func main() {
@@ -38,6 +44,7 @@ func main() {
 		windowW = flag.Int64("window", 0, "sliding window size (0 = infinite window)")
 		highDim = flag.Bool("highdim", true, "use the d·α grid (Section 4); set false for the α/2 grid (Section 2.1)")
 		random  = flag.Bool("random-rep", false, "return a random point of the sampled group instead of its first point")
+		shards  = flag.Int("shards", 1, "partition the stream across N parallel sketch workers (infinite window only)")
 	)
 	flag.Parse()
 
@@ -47,36 +54,61 @@ func main() {
 	}
 
 	if *windowW > 0 {
-		ws, err := core.NewWindowSampler(opts, window.Window{Kind: window.Sequence, W: *windowW})
+		if *shards > 1 {
+			fatal(fmt.Errorf("-shards does not support sliding windows yet"))
+		}
+		ws, err := sketch.NewWindowL0(opts, window.Window{Kind: window.Sequence, W: *windowW})
 		if err != nil {
 			fatal(err)
 		}
-		for _, p := range pts {
-			ws.Process(p)
-		}
-		q, err := ws.Query()
+		ws.ProcessBatch(pts)
+		res, err := ws.Query()
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("window sample (last %d of %d points): %v\n", *windowW, len(pts), q)
-		fmt.Printf("space: %d words peak, %d levels\n", ws.PeakSpaceWords(), ws.Levels())
+		fmt.Printf("window sample (last %d of %d points): %v\n", *windowW, len(pts), res.Sample)
+		fmt.Printf("space: %d words peak, %d levels\n",
+			ws.WindowSampler().PeakSpaceWords(), ws.WindowSampler().Levels())
 		return
 	}
 
-	s, err := core.NewSampler(opts)
+	if *shards > 1 {
+		eng, err := engine.NewSamplerEngine(opts, engine.Config{Shards: *shards})
+		if err != nil {
+			fatal(err)
+		}
+		eng.ProcessBatch(pts)
+		snap, err := eng.Snapshot()
+		if err != nil {
+			fatal(err)
+		}
+		samples, err := snap.(*sketch.L0).QueryK(*k)
+		if err != nil {
+			fatal(err)
+		}
+		for i, q := range samples {
+			fmt.Printf("sample %d: %v\n", i+1, q)
+		}
+		st := eng.Stats()
+		fmt.Printf("stream: %d points over %d shards (%.0f pts/s); merged sketch: %d words\n",
+			st.Processed, st.Shards, st.Throughput, snap.Space())
+		eng.Close()
+		return
+	}
+
+	l0, err := sketch.NewL0(opts)
 	if err != nil {
 		fatal(err)
 	}
-	for _, p := range pts {
-		s.Process(p)
-	}
-	samples, err := s.QueryK(*k)
+	l0.ProcessBatch(pts)
+	samples, err := l0.QueryK(*k)
 	if err != nil {
 		fatal(err)
 	}
 	for i, q := range samples {
 		fmt.Printf("sample %d: %v\n", i+1, q)
 	}
+	s := l0.Sampler()
 	fmt.Printf("stream: %d points; sketch: |Sacc|=%d |Srej|=%d R=%d peak=%d words\n",
 		s.Processed(), s.AcceptSize(), s.RejectSize(), s.R(), s.PeakSpaceWords())
 }

@@ -30,8 +30,8 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
-	"repro/internal/f0"
 	"repro/internal/geom"
+	"repro/pkg/sketch"
 )
 
 const (
@@ -80,27 +80,29 @@ func main() {
 	hitsReservoir, hitsMinRank, hitsRobust := 0, 0, 0
 	for trial := 0; trial < trials; trial++ {
 		seed := uint64(trial)*2654435761 + 17
-		res := baseline.NewReservoir(1, seed)
+		// Reservoir and robust sampler ride the unified sketch interface;
+		// min-rank keeps its bespoke API (it has no batch path to share).
+		res := sketch.NewReservoir(1, seed)
 		mr := baseline.NewMinRank(seed + 1)
-		rb, err := core.NewSampler(core.Options{
+		rb, err := sketch.NewL0(core.Options{
 			Alpha: alpha, Dim: dim, Seed: seed + 2, HighDim: true,
 			StreamBound: len(stream) + 1,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		res.ProcessBatch(stream)
+		rb.ProcessBatch(stream)
 		for _, p := range stream {
-			res.Process(p)
 			mr.Process(p)
-			rb.Process(p)
 		}
-		if nearest(res.Sample()[0], docs) == 0 {
+		if r, err := res.Query(); err == nil && nearest(r.Sample, docs) == 0 {
 			hitsReservoir++
 		}
 		if q, err := mr.Query(); err == nil && nearest(q, docs) == 0 {
 			hitsMinRank++
 		}
-		if q, err := rb.Query(); err == nil && nearest(q, docs) == 0 {
+		if r, err := rb.Query(); err == nil && nearest(r.Sample, docs) == 0 {
 			hitsRobust++
 		}
 	}
@@ -112,33 +114,29 @@ func main() {
 	fmt.Printf("  robust ℓ0 (this paper): %5.2f%%\n\n", 100*float64(hitsRobust)/trials)
 
 	// Distinct-document count despite the duplicates.
-	med, err := f0.NewMedian(core.Options{
+	med, err := sketch.NewF0(core.Options{
 		Alpha: alpha, Dim: dim, Seed: 99, HighDim: true, StreamBound: len(stream) + 1,
-	}, 0.2, 0, 9)
+	}, 0.2, 9)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, p := range stream {
-		med.Process(p)
-	}
-	est, err := med.Estimate()
+	med.ProcessBatch(stream)
+	f0res, err := med.Query()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("robust F0 estimate: %.0f distinct documents (truth %d, stream %d)\n\n",
-		est, numDocs, len(stream))
+		f0res.Estimate, numDocs, len(stream))
 
 	// A survey sample of 5 distinct documents, no repeats.
-	survey, err := core.NewSampler(core.Options{
+	survey, err := sketch.NewL0(core.Options{
 		Alpha: alpha, Dim: dim, Seed: 123, HighDim: true, K: 5,
 		StreamBound: len(stream) + 1,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, p := range stream {
-		survey.Process(p)
-	}
+	survey.ProcessBatch(stream)
 	picks, err := survey.QueryK(5)
 	if err != nil {
 		log.Fatal(err)

@@ -2,13 +2,16 @@
 //
 // Four ingestion sites each see a shard of a noisy event stream (the
 // distributed-streams setting the paper's Related Work attributes to
-// Chung–Tirthapura [12]). Each site runs the robust ℓ0-sampler locally;
-// the coordinator merges the four sketches — a few kilobytes each, shipped
-// with MarshalBinary — and samples distinct events from the union without
-// ever seeing the raw streams.
+// Chung–Tirthapura [12]). Each site runs the robust ℓ0-sampler locally
+// behind the unified sketch interface; the coordinator merges the four
+// sketches — a few kilobytes each, shipped with Serialize — and samples
+// distinct events from the union without ever seeing the raw streams.
 //
-// The example also demonstrates checkpoint/restore: site 3 "crashes"
-// mid-shard and resumes from its serialized sketch.
+// The example also demonstrates checkpoint/restore (site 3 "crashes"
+// mid-shard and resumes from its serialized sketch) and finishes with the
+// in-process equivalent: the sharded streaming engine, which runs the
+// same shard-sketch-merge pipeline across worker goroutines behind one
+// ProcessBatch/Query facade.
 //
 // Run with: go run ./examples/distributed_merge
 package main
@@ -19,7 +22,9 @@ import (
 	"math/rand/v2"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/geom"
+	"repro/pkg/sketch"
 )
 
 const (
@@ -53,14 +58,15 @@ func main() {
 	opts := core.Options{Alpha: alpha, Dim: dim, Seed: 2024, HighDim: true}
 
 	// Four sites, each seeing 5000 occurrences of a site-biased subset.
-	sites := make([]*core.Sampler, 4)
+	sites := make([]*sketch.L0, 4)
 	for i := range sites {
-		s, err := core.NewSampler(opts)
+		s, err := sketch.NewL0(opts)
 		if err != nil {
 			log.Fatal(err)
 		}
 		sites[i] = s
 	}
+	var allOccurrences []geom.Point
 	for site := 0; site < 4; site++ {
 		for k := 0; k < 5000; k++ {
 			// Site i mostly sees events congruent to i mod 4, plus spillover.
@@ -71,15 +77,17 @@ func main() {
 					id -= 4
 				}
 			}
-			sites[site].Process(occurrence(id))
+			p := occurrence(id)
+			allOccurrences = append(allOccurrences, p)
+			sites[site].Process(p)
 
 			// Site 3 crashes at its midpoint and resumes from checkpoint.
 			if site == 3 && k == 2500 {
-				blob, err := sites[3].MarshalBinary()
+				blob, err := sites[3].Serialize()
 				if err != nil {
 					log.Fatal(err)
 				}
-				restored, err := core.UnmarshalSampler(blob)
+				restored, err := sketch.RestoreL0(blob)
 				if err != nil {
 					log.Fatal(err)
 				}
@@ -90,36 +98,50 @@ func main() {
 		}
 	}
 
-	// Coordinator: merge the four sketches pairwise.
+	// Coordinator: merge the other sites into site 0 via the Mergeable
+	// interface (each merge leaves its argument intact).
 	merged := sites[0]
 	for i := 1; i < 4; i++ {
-		var err error
-		merged, err = core.Merge(merged, sites[i])
-		if err != nil {
+		if err := merged.Merge(sites[i]); err != nil {
 			log.Fatal(err)
 		}
 	}
+	ms := merged.Sampler()
 	fmt.Printf("merged sketch over %d total occurrences: |Sacc|=%d |Srej|=%d R=%d, %d words\n",
-		merged.Processed(), merged.AcceptSize(), merged.RejectSize(), merged.R(),
-		merged.SpaceWords())
+		ms.Processed(), ms.AcceptSize(), ms.RejectSize(), ms.R(), merged.Space())
 
 	// Sample distinct events from the union.
 	fmt.Println("\n10 distinct-event samples from the union of all sites:")
 	seen := map[int]bool{}
+	var estimate float64
 	for i := 0; i < 10; i++ {
-		q, err := merged.Query()
+		res, err := merged.Query()
 		if err != nil {
 			log.Fatal(err)
 		}
-		id := nearestEvent(q, events)
+		id := nearestEvent(res.Sample, events)
 		seen[id] = true
+		estimate = res.Estimate
 		fmt.Printf("  event %3d\n", id)
 	}
 	fmt.Printf("(%d distinct events in 10 draws)\n", len(seen))
+	fmt.Printf("\ncoarse distinct-event estimate |Sacc|·R = %.0f (truth %d)\n", estimate, numEvents)
 
-	// Sanity: the merged estimate of distinct events.
-	est := float64(merged.AcceptSize()) * float64(merged.R())
-	fmt.Printf("\ncoarse distinct-event estimate |Sacc|·R = %.0f (truth %d)\n", est, numEvents)
+	// The in-process version: the sharded engine routes the same stream
+	// across 4 worker shards and answers from a merged snapshot.
+	eng, err := engine.NewSamplerEngine(opts, engine.Config{Shards: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng.ProcessBatch(allOccurrences)
+	res, err := eng.Query()
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := eng.Stats()
+	fmt.Printf("\nsharded engine over the same stream: estimate %.0f, %d shards, %.0f pts/s\n",
+		res.Estimate, st.Shards, st.Throughput)
+	eng.Close()
 }
 
 func nearestEvent(p geom.Point, events []geom.Point) int {

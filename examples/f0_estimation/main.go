@@ -21,10 +21,9 @@ import (
 	"math"
 	"math/rand/v2"
 
-	"repro/internal/baseline"
 	"repro/internal/core"
-	"repro/internal/f0"
 	"repro/internal/geom"
+	"repro/pkg/sketch"
 )
 
 const (
@@ -62,28 +61,32 @@ func main() {
 		}
 		rng.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
 
-		robust, err := f0.NewMedian(core.Options{
+		// Every estimator — robust and duplicate-blind alike — is driven
+		// through the same unified sketch.Sketch interface.
+		robust, err := sketch.NewF0(core.Options{
 			Alpha: alpha, Dim: dim, Seed: uint64(forwards), HighDim: true,
 			StreamBound: len(stream) + 1,
-		}, 0.2, 0, 9)
+		}, 0.2, 9)
 		if err != nil {
 			log.Fatal(err)
 		}
-		kmv := baseline.NewKMV(512, uint64(forwards)+100)
-		hll := baseline.NewHyperLogLog(11, uint64(forwards)+200)
-		lc := baseline.NewLinearCounting(1<<17, uint64(forwards)+300)
-		for _, p := range stream {
-			robust.Process(p)
-			kmv.Process(p)
-			hll.Process(p)
-			lc.Process(p)
+		sketches := []sketch.Sketch{
+			robust,
+			sketch.NewKMV(512, uint64(forwards)+100),
+			sketch.NewHyperLogLog(11, uint64(forwards)+200),
+			sketch.NewLinearCounting(1<<17, uint64(forwards)+300),
 		}
-		est, err := robust.Estimate()
-		if err != nil {
-			log.Fatal(err)
+		ests := make([]float64, len(sketches))
+		for i, sk := range sketches {
+			sk.ProcessBatch(stream)
+			res, err := sk.Query()
+			if err != nil {
+				log.Fatal(err)
+			}
+			ests[i] = res.Estimate
 		}
 		fmt.Printf("%8d  %10d  %10.0f  %10.0f  %10.0f  %10.0f\n",
-			forwards, len(stream), est, kmv.Estimate(), hll.Estimate(), lc.Estimate())
+			forwards, len(stream), ests[0], ests[1], ests[2], ests[3])
 	}
 	fmt.Printf("\ntrue number of distinct messages: %d at every duplication level\n", numMessages)
 }

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/pkg/sketch"
 )
 
 func main() {
@@ -36,12 +37,14 @@ func main() {
 	}
 	rng.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
 
-	// A sampler with α = 1: any two points within distance 1 are treated
-	// as the same element.
+	// A sketch with α = 1: any two points within distance 1 are treated
+	// as the same element. sketch.NewL0 is the unified-interface
+	// constructor; Query returns a uniform group sample plus a coarse
+	// distinct-group estimate.
 	counts := make([]int, len(entities))
 	const trials = 2000
 	for trial := 0; trial < trials; trial++ {
-		s, err := core.NewSampler(core.Options{
+		s, err := sketch.NewL0(core.Options{
 			Alpha: 1,
 			Dim:   2,
 			Seed:  uint64(trial) + 1,
@@ -49,15 +52,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		for _, p := range stream {
-			s.Process(p)
-		}
-		sample, err := s.Query()
+		s.ProcessBatch(stream)
+		res, err := s.Query()
 		if err != nil {
 			log.Fatal(err)
 		}
 		for i, e := range entities {
-			if geom.Dist(sample, e) < 1 {
+			if geom.Dist(res.Sample, e) < 1 {
 				counts[i]++
 			}
 		}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/lsh"
+	"repro/pkg/sketch"
 )
 
 const (
@@ -70,20 +71,20 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		s, err := core.NewSampler(core.Options{
+		// A custom Space plugs into the same unified sketch interface
+		// (such sketches just are not serializable).
+		s, err := sketch.NewL0(core.Options{
 			Alpha: maxAngle, Dim: dim, Seed: seed + 1, Space: space,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		for _, p := range stream {
-			s.Process(p)
-		}
-		q, err := s.Query()
+		s.ProcessBatch(stream)
+		res, err := s.Query()
 		if err != nil {
 			log.Fatal(err)
 		}
-		switch nearestPage(q, pages) {
+		switch nearestPage(res.Sample, pages) {
 		case 0:
 			first++
 		case numPages - 1:

@@ -22,9 +22,9 @@ import (
 	"math/rand/v2"
 
 	"repro/internal/core"
-	"repro/internal/f0"
 	"repro/internal/geom"
 	"repro/internal/window"
+	"repro/pkg/sketch"
 )
 
 func main() {
@@ -44,15 +44,17 @@ func main() {
 		return geom.Point{s[0] + (rng.Float64()-0.5)*0.8, s[1] + (rng.Float64()-0.5)*0.8}
 	}
 
-	ws, err := core.NewWindowSampler(core.Options{
+	// Both window sketches ride the unified pkg/sketch interface;
+	// time-based windows feed them through the concrete ProcessAt.
+	ws, err := sketch.NewWindowL0(core.Options{
 		Alpha: alpha, Dim: 2, Seed: 42,
 	}, window.Window{Kind: window.Time, W: windowSize})
 	if err != nil {
 		log.Fatal(err)
 	}
-	est, err := f0.NewWindowEstimator(core.Options{
+	est, err := sketch.NewWindowF0(core.Options{
 		Alpha: alpha, Dim: 2, Seed: 43, Kappa: 1, StreamBound: 16,
-	}, window.Window{Kind: window.Time, W: windowSize}, 0.35, 0)
+	}, window.Window{Kind: window.Time, W: windowSize}, 0.35)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,26 +81,26 @@ func main() {
 		fmt.Printf("t=%5d (era of sensors %d–%d):\n", now, era.base, era.base+9)
 		seen := map[int]bool{}
 		for q := 0; q < 8; q++ {
-			sample, err := ws.Query()
+			res, err := ws.Query()
 			if err != nil {
 				log.Fatal(err)
 			}
-			id := sensorOf(sample, signatures)
+			id := sensorOf(res.Sample, signatures)
 			seen[id] = true
 			fmt.Printf("  window sample → sensor %2d\n", id)
 			if id < era.base || id >= era.base+10 {
 				log.Fatalf("sampled sensor %d from an expired era!", id)
 			}
 		}
-		f0est, err := est.Estimate()
+		f0res, err := est.Query()
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  distinct active sensors in window: ≈%.0f (truth ≤ 10); %d distinct in 8 draws\n\n",
-			f0est, len(seen))
+			f0res.Estimate, len(seen))
 	}
 	fmt.Printf("sampler footprint: %d words peak across %d levels for a %d-unit window\n",
-		ws.PeakSpaceWords(), ws.Levels(), windowSize)
+		ws.WindowSampler().PeakSpaceWords(), ws.WindowSampler().Levels(), windowSize)
 }
 
 // skewedIndex returns 0..9 with P[i] ∝ 1/(i+1): index 0 is ~20× likelier

@@ -64,6 +64,43 @@ func Merge(a, b *Sampler) (*Sampler, error) {
 	return out, nil
 }
 
+// MergeFrom merges sampler b (built with the SAME Options) into s in
+// place: afterwards s is the sketch of s's stream followed by b's, and b
+// is left intact. Unlike Merge it re-inserts only b's entries — s's own
+// state is re-classified in place when b's rate is higher — so folding P
+// shard sketches into an accumulator costs O(total entries), not
+// O(P × total entries). This is the path the sharded engine's snapshot
+// takes on every query.
+func (s *Sampler) MergeFrom(b *Sampler) error {
+	if !mergeCompatible(s.opts, b.opts) {
+		return ErrMergeOptions
+	}
+	// Raise s to the common (higher) rate first; doubleR re-classifies
+	// and drops s's stored entries exactly as re-insertion would. The
+	// raise doublings replay b's history rather than adding to it, so
+	// they are excluded from the combined rehash diagnostic (keeping
+	// Rehashes() consistent with what Merge reports).
+	raised := 0
+	for s.r < b.r {
+		s.doubleR()
+		raised++
+	}
+	offset := s.n
+	entries := append([]*entry(nil), b.entries...)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].stamp < entries[j].stamp })
+	for _, e := range entries {
+		if err := s.mergeEntry(e, offset); err != nil {
+			return err
+		}
+	}
+	s.n += b.n
+	s.rehash += b.rehash - raised
+	for s.numAcc > s.opts.acceptThreshold() {
+		s.doubleR()
+	}
+	return nil
+}
+
 // mergeCompatible reports whether two option sets describe the same
 // sketch configuration. The Space field is compared by instance identity
 // (merging requires literally the same bucketing), via reflection so that
@@ -109,7 +146,8 @@ func (s *Sampler) mergeEntry(e *entry, stampOffset int64) error {
 	if !accepted && !s.anySampled(adjKeys) {
 		return nil // ignored at the merged rate
 	}
-	ne := &entry{
+	ne := newEntry()
+	*ne = entry{
 		rep:      e.rep,
 		cell:     cp,
 		adj:      adjKeys,

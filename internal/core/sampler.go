@@ -40,6 +40,13 @@ type Sampler struct {
 	n       int64 // points processed
 	space   spaceMeter
 	rehash  int // number of rate doublings performed (diagnostics)
+
+	// lastHit caches the entry that matched the previous point. Streams
+	// with near-duplicate locality (bursts of points from one group, the
+	// common shape in batched ingestion) hit the cache and skip the
+	// Adjacent/findGroup grid hashing entirely; see Process. Invalidated
+	// whenever entries can be dropped (doubleR).
+	lastHit *entry
 }
 
 // NewSampler constructs an infinite-window robust ℓ0-sampler.
@@ -91,11 +98,25 @@ func (s *Sampler) PeakSpaceWords() int { return s.space.Peak() }
 func (s *Sampler) Process(p geom.Point) {
 	validatePoint(p, s.opts.Dim)
 	s.n++
+
+	// Fast path: if p is a near-duplicate of the group matched by the
+	// previous point, the Line 4 membership test succeeds without touching
+	// the grid — one distance computation instead of the Adjacent DFS plus
+	// hash lookups. This amortizes the hashing cost across duplicate runs
+	// and is what makes ProcessBatch on bursty streams cheap. It is
+	// disabled under RandomRepresentative: on non-separated data p can lie
+	// within α of several stored representatives, and the reservoir
+	// bookkeeping must credit the same entry findGroup's adjacency order
+	// would, not the most recent match.
+	if e := s.lastHit; e != nil && !s.opts.RandomRepresentative && s.spc.SameGroup(e.rep, p) {
+		return
+	}
 	adjKeys := s.spc.Adjacent(p)
 
 	// Line 4: if p belongs to a known candidate group it is not the first
 	// point of that group; update the group's auxiliary state and move on.
 	if e := s.index.findGroup(p, adjKeys, s.spc); e != nil {
+		s.lastHit = e
 		if s.opts.RandomRepresentative {
 			e.observeDuplicate(p, s.n, s.rng, false)
 		}
@@ -109,7 +130,8 @@ func (s *Sampler) Process(p geom.Point) {
 	if !accepted && !s.anySampled(adjKeys) {
 		return // ignored group: no cell of adj(p) is sampled
 	}
-	e := &entry{
+	e := newEntry()
+	*e = entry{
 		rep:      p,
 		cell:     cp,
 		adj:      adjKeys,
@@ -120,6 +142,7 @@ func (s *Sampler) Process(p geom.Point) {
 	}
 	s.entries = append(s.entries, e)
 	s.index.add(e)
+	s.lastHit = e
 	s.space.add(e.words(s.opts.RandomRepresentative, false))
 	if accepted {
 		s.numAcc++
@@ -150,6 +173,7 @@ func (s *Sampler) anySampled(cells []grid.CellKey) bool {
 func (s *Sampler) doubleR() {
 	s.r *= 2
 	s.rehash++
+	s.lastHit = nil // entries may be dropped below; the cache must not outlive them
 	kept := s.entries[:0]
 	s.numAcc = 0
 	for _, e := range s.entries {
@@ -165,6 +189,7 @@ func (s *Sampler) doubleR() {
 		default:
 			s.index.remove(e)
 			s.space.sub(e.words(s.opts.RandomRepresentative, false))
+			freeEntry(e)
 		}
 	}
 	// Zero the tail so dropped entries can be collected.

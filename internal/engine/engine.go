@@ -1,0 +1,342 @@
+// Package engine is the sharded, batched streaming layer that turns the
+// single-threaded sketches of this repository into a service-grade
+// ingestion path.
+//
+// An Engine partitions incoming points across P worker shards by the hash
+// of a routing-grid cell, so that (with high probability over the random
+// shift) all near-duplicates of one group land on one shard. Each shard
+// owns a private Sketch fed through a bounded channel of point batches —
+// the producer side blocks when a shard falls behind (backpressure), and
+// workers ingest whole batches through the ProcessBatch fast path.
+// Queries are answered from a merged snapshot: the engine drains all
+// in-flight batches, then unions the per-shard sketches (which were built
+// with identical options and therefore share grids and hash functions)
+// into a fresh sketch via the Mergeable interface. Groups that straddle a
+// routing boundary are coalesced by the merge's α-ball test, so sharded
+// estimates track sequential ones.
+//
+//	eng, _ := engine.NewSamplerEngine(opts, engine.Config{Shards: 8})
+//	eng.ProcessBatch(points)           // any number of goroutines
+//	res, _ := eng.Query()              // merged-snapshot query
+//	st := eng.Stats()                  // atomic throughput/space counters
+//	eng.Close()
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geom"
+	"repro/pkg/sketch"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Shards is the number of worker shards, each owning one sketch.
+	// Defaults to runtime.GOMAXPROCS(0).
+	Shards int
+
+	// BatchSize is the number of points per batch handed to a worker.
+	// Defaults to 256.
+	BatchSize int
+
+	// QueueDepth is the number of batches buffered per shard before
+	// producers block (backpressure). Defaults to 4.
+	QueueDepth int
+
+	// New constructs the sketch for one shard. Every shard must receive a
+	// sketch built with identical parameters and seed, or the merged
+	// snapshot is meaningless. The engine also calls New(-1) for the
+	// snapshot accumulator; snapshot queries additionally require the
+	// sketches to implement sketch.Mergeable. Required.
+	New func(shard int) (sketch.Sketch, error)
+
+	// Router maps points to shards; points of one near-duplicate group
+	// should route together. Required (NewSamplerEngine and NewF0Engine
+	// fill in a grid router derived from the sketch options).
+	Router Router
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4
+	}
+	return c
+}
+
+// Stats is a point-in-time view of the engine's atomic counters.
+type Stats struct {
+	Shards     int
+	Enqueued   int64   // points handed to the engine
+	Processed  int64   // points fully ingested by workers
+	PerShard   []int64 // per-shard processed counts (routing balance)
+	SpaceWords int     // live sketch words summed over shards
+	Elapsed    time.Duration
+	Throughput float64 // processed points per second since New
+}
+
+type batch struct {
+	pts []geom.Point
+	ack chan struct{} // non-nil on drain markers; closed when reached
+}
+
+type shard struct {
+	ch   chan batch
+	mu   sync.Mutex // guards sk
+	sk   sketch.Sketch
+	done atomic.Int64
+
+	pendMu sync.Mutex // guards pend
+	pend   []geom.Point
+}
+
+// Engine is the sharded batched stream processor. All exported methods
+// are safe for concurrent use by any number of goroutines.
+type Engine struct {
+	cfg    Config
+	shards []*shard
+	wg     sync.WaitGroup
+
+	bufPool  sync.Pool // *[]geom.Point batch buffers, cap = BatchSize
+	enqueued atomic.Int64
+	closed   atomic.Bool
+	start    time.Time
+}
+
+// New builds and starts an engine: constructs one sketch per shard and
+// spawns the shard workers.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.New == nil {
+		return nil, fmt.Errorf("engine: Config.New is required")
+	}
+	if cfg.Router == nil {
+		return nil, fmt.Errorf("engine: Config.Router is required")
+	}
+	e := &Engine{cfg: cfg, start: time.Now()}
+	e.bufPool.New = func() any {
+		buf := make([]geom.Point, 0, cfg.BatchSize)
+		return &buf
+	}
+	e.shards = make([]*shard, cfg.Shards)
+	for i := range e.shards {
+		sk, err := cfg.New(i)
+		if err != nil {
+			return nil, fmt.Errorf("engine: building shard %d sketch: %w", i, err)
+		}
+		e.shards[i] = &shard{ch: make(chan batch, cfg.QueueDepth), sk: sk}
+	}
+	e.wg.Add(len(e.shards))
+	for _, sh := range e.shards {
+		go e.worker(sh)
+	}
+	return e, nil
+}
+
+func (e *Engine) worker(sh *shard) {
+	defer e.wg.Done()
+	for b := range sh.ch {
+		if len(b.pts) > 0 {
+			sh.mu.Lock()
+			sh.sk.ProcessBatch(b.pts)
+			sh.mu.Unlock()
+			sh.done.Add(int64(len(b.pts)))
+			e.putBuf(b.pts)
+		}
+		if b.ack != nil {
+			close(b.ack)
+		}
+	}
+}
+
+func (e *Engine) getBuf() []geom.Point  { return (*e.bufPool.Get().(*[]geom.Point))[:0] }
+func (e *Engine) putBuf(b []geom.Point) { b = b[:0]; e.bufPool.Put(&b) }
+
+func (e *Engine) shardOf(p geom.Point) *shard {
+	return e.shards[e.cfg.Router.Route(p)%uint64(len(e.shards))]
+}
+
+// Process feeds one stream point. Points accumulate in a per-shard
+// pending buffer and are shipped to the worker one batch at a time; call
+// Flush (or Query/Snapshot/Close, which flush) to push out a partial
+// batch. Process must not be called after Close.
+func (e *Engine) Process(p geom.Point) {
+	if e.closed.Load() {
+		panic("engine: Process after Close")
+	}
+	e.enqueued.Add(1)
+	sh := e.shardOf(p)
+	sh.pendMu.Lock()
+	if sh.pend == nil {
+		sh.pend = e.getBuf()
+	}
+	sh.pend = append(sh.pend, p)
+	var full []geom.Point
+	if len(sh.pend) >= e.cfg.BatchSize {
+		full, sh.pend = sh.pend, nil
+	}
+	sh.pendMu.Unlock()
+	if full != nil {
+		sh.ch <- batch{pts: full}
+	}
+}
+
+// ProcessBatch feeds a batch of stream points: the batch is partitioned
+// by the router into per-shard sub-batches of at most BatchSize points
+// (no locks taken while routing), shipped to the workers as they fill —
+// so QueueDepth backpressure applies to large inputs too. Any pending
+// single-point buffer of a touched shard is flushed first, preserving
+// per-producer order. The slice ps itself is not retained, but the
+// points are: per the repository convention, points handed to a sketch
+// must not be mutated afterwards (Clone first), and with the engine that
+// holds from the moment ProcessBatch is called — workers read the
+// points asynchronously.
+func (e *Engine) ProcessBatch(ps []geom.Point) {
+	if len(ps) == 0 {
+		return
+	}
+	if e.closed.Load() {
+		panic("engine: ProcessBatch after Close")
+	}
+	e.enqueued.Add(int64(len(ps)))
+	buckets := make([][]geom.Point, len(e.shards))
+	for _, p := range ps {
+		i := e.cfg.Router.Route(p) % uint64(len(e.shards))
+		b := buckets[i]
+		if b == nil {
+			e.flushShard(e.shards[i])
+			b = e.getBuf()
+		}
+		b = append(b, p)
+		if len(b) >= e.cfg.BatchSize {
+			e.shards[i].ch <- batch{pts: b}
+			b = e.getBuf()
+		}
+		buckets[i] = b
+	}
+	for i, b := range buckets {
+		if len(b) > 0 {
+			e.shards[i].ch <- batch{pts: b}
+		} else if b != nil {
+			e.putBuf(b)
+		}
+	}
+}
+
+func (e *Engine) flushShard(sh *shard) {
+	sh.pendMu.Lock()
+	pend := sh.pend
+	sh.pend = nil
+	sh.pendMu.Unlock()
+	if pend != nil {
+		sh.ch <- batch{pts: pend}
+	}
+}
+
+// Flush ships every partially filled pending buffer to its worker.
+func (e *Engine) Flush() {
+	for _, sh := range e.shards {
+		e.flushShard(sh)
+	}
+}
+
+// Drain flushes pending buffers and blocks until every batch enqueued so
+// far has been fully ingested. Concurrent producers may keep feeding;
+// Drain only guarantees its happens-before batches are done. After Close
+// (which already drained) it is a no-op.
+func (e *Engine) Drain() {
+	if e.closed.Load() {
+		return
+	}
+	e.Flush()
+	acks := make([]chan struct{}, len(e.shards))
+	for i, sh := range e.shards {
+		acks[i] = make(chan struct{})
+		sh.ch <- batch{ack: acks[i]}
+	}
+	for _, ack := range acks {
+		<-ack
+	}
+}
+
+// Snapshot drains the engine and returns a fresh sketch holding the union
+// of every shard: the merged view a sequential sampler of the whole
+// stream would have. The per-shard sketches keep ingesting afterwards;
+// the returned sketch is independent. Requires the configured sketches to
+// implement sketch.Mergeable.
+func (e *Engine) Snapshot() (sketch.Sketch, error) {
+	e.Drain()
+	fresh, err := e.cfg.New(-1)
+	if err != nil {
+		return nil, fmt.Errorf("engine: building snapshot sketch: %w", err)
+	}
+	m, ok := fresh.(sketch.Mergeable)
+	if !ok {
+		return nil, fmt.Errorf("engine: %T is not mergeable; snapshot queries need sketch.Mergeable", fresh)
+	}
+	for i, sh := range e.shards {
+		sh.mu.Lock()
+		err := m.Merge(sh.sk)
+		sh.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("engine: merging shard %d: %w", i, err)
+		}
+	}
+	return m, nil
+}
+
+// Query answers from a merged snapshot of all shards.
+func (e *Engine) Query() (sketch.Result, error) {
+	s, err := e.Snapshot()
+	if err != nil {
+		return sketch.Result{}, err
+	}
+	return s.Query()
+}
+
+// Stats returns the engine's counters. Processed/Enqueued are atomic;
+// SpaceWords briefly locks each shard.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		Shards:   len(e.shards),
+		Enqueued: e.enqueued.Load(),
+		PerShard: make([]int64, len(e.shards)),
+		Elapsed:  time.Since(e.start),
+	}
+	for i, sh := range e.shards {
+		n := sh.done.Load()
+		st.PerShard[i] = n
+		st.Processed += n
+		sh.mu.Lock()
+		st.SpaceWords += sh.sk.Space()
+		sh.mu.Unlock()
+	}
+	if secs := st.Elapsed.Seconds(); secs > 0 {
+		st.Throughput = float64(st.Processed) / secs
+	}
+	return st
+}
+
+// Close flushes, stops the workers, and waits for them to finish.
+// Snapshot/Query keep working on the final state, but no further points
+// may be processed. Close is idempotent, but must not race with
+// in-flight Process/ProcessBatch/Drain calls; Process after Close panics.
+func (e *Engine) Close() {
+	if !e.closed.CompareAndSwap(false, true) {
+		return
+	}
+	e.Flush()
+	for _, sh := range e.shards {
+		close(sh.ch)
+	}
+	e.wg.Wait()
+}

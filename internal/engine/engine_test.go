@@ -1,0 +1,247 @@
+package engine
+
+import (
+	"math"
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/pkg/sketch"
+)
+
+// stream builds numGroups well-separated groups (centers 10 apart, α=1)
+// with the given duplication factor, shuffled.
+func stream(numGroups, dup int, seed uint64) []geom.Point {
+	rng := rand.New(rand.NewPCG(seed, seed^0x5eed))
+	pts := make([]geom.Point, 0, numGroups*dup)
+	for g := 0; g < numGroups; g++ {
+		c := geom.Point{float64(g%64) * 10, float64(g/64) * 10}
+		for d := 0; d < dup; d++ {
+			pts = append(pts, geom.Point{
+				c[0] + (rng.Float64()-0.5)*0.5,
+				c[1] + (rng.Float64()-0.5)*0.5,
+			})
+		}
+	}
+	rng.Shuffle(len(pts), func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+	return pts
+}
+
+func TestCellHashMatchesCellOf(t *testing.T) {
+	g := grid.New(3, 2.5, 99)
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 1000; i++ {
+		p := geom.Point{rng.Float64()*100 - 50, rng.Float64()*100 - 50, rng.Float64()*100 - 50}
+		// Compare against the allocating Coord path, not CellOf (which now
+		// delegates to CellHash and would make the check vacuous).
+		if g.CellHash(p) != uint64(g.CoordOf(p).Key()) {
+			t.Fatalf("CellHash(%v) = %d, CoordOf().Key() = %d", p, g.CellHash(p), uint64(g.CoordOf(p).Key()))
+		}
+	}
+}
+
+// TestShardedMatchesSequentialExact: with the accept threshold above the
+// group count, R stays 1 and both the sequential sampler and the merged
+// engine snapshot track every group exactly — the sharded estimate must
+// equal the sequential one, with N producer goroutines feeding the engine
+// concurrently (run under -race).
+func TestShardedMatchesSequentialExact(t *testing.T) {
+	const groups, dup, producers = 300, 6, 8
+	pts := stream(groups, dup, 7)
+	opts := core.Options{
+		Alpha: 1, Dim: 2, Seed: 21,
+		StreamBound: len(pts) + 1,
+		Kappa:       64, // threshold ≫ groups: exact regime, R = 1
+	}
+
+	seq, err := sketch.NewL0(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq.ProcessBatch(pts)
+	seqRes, err := seq.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqRes.Estimate != groups {
+		t.Fatalf("sequential exact estimate %g, want %d", seqRes.Estimate, groups)
+	}
+
+	eng, err := NewSamplerEngine(opts, Config{Shards: 4, BatchSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	var wg sync.WaitGroup
+	chunk := (len(pts) + producers - 1) / producers
+	for w := 0; w < producers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(pts))
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(ps []geom.Point) {
+			defer wg.Done()
+			// Mix single-point and batched ingestion.
+			for i := 0; i < len(ps)/4; i++ {
+				eng.Process(ps[i])
+			}
+			eng.ProcessBatch(ps[len(ps)/4:])
+		}(pts[lo:hi])
+	}
+	wg.Wait()
+
+	engRes, err := eng.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engRes.Estimate != seqRes.Estimate {
+		t.Fatalf("sharded estimate %g != sequential %g", engRes.Estimate, seqRes.Estimate)
+	}
+	st := eng.Stats()
+	if st.Processed != int64(len(pts)) || st.Enqueued != int64(len(pts)) {
+		t.Fatalf("stats processed=%d enqueued=%d, want %d", st.Processed, st.Enqueued, len(pts))
+	}
+}
+
+// TestShardedMatchesSequentialSampled exercises the subsampling regime
+// (R > 1): across seeds, the mean sharded F0 estimate must stay within
+// 10%% of the mean sequential estimate.
+func TestShardedMatchesSequentialSampled(t *testing.T) {
+	const groups, dup, seeds = 256, 4, 12
+	var seqSum, engSum float64
+	for seed := uint64(1); seed <= seeds; seed++ {
+		pts := stream(groups, dup, seed)
+		opts := core.Options{Alpha: 1, Dim: 2, Seed: seed * 101, StreamBound: len(pts) + 1}
+
+		seq, err := sketch.NewF0(opts, 0.25, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq.ProcessBatch(pts)
+		sres, err := seq.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqSum += sres.Estimate
+
+		eng, err := NewF0Engine(opts, 0.25, 5, Config{Shards: 4, BatchSize: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			lo := w * len(pts) / 4
+			hi := (w + 1) * len(pts) / 4
+			wg.Add(1)
+			go func(ps []geom.Point) {
+				defer wg.Done()
+				eng.ProcessBatch(ps)
+			}(pts[lo:hi])
+		}
+		wg.Wait()
+		eres, err := eng.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		engSum += eres.Estimate
+		eng.Close()
+	}
+	seqMean, engMean := seqSum/seeds, engSum/seeds
+	if rel := math.Abs(engMean-seqMean) / seqMean; rel > 0.10 {
+		t.Fatalf("sharded mean estimate %.1f deviates %.1f%% from sequential mean %.1f",
+			engMean, 100*rel, seqMean)
+	}
+	if rel := math.Abs(seqMean-groups) / groups; rel > 0.25 {
+		t.Fatalf("sequential mean estimate %.1f is %.1f%% off the true %d groups",
+			seqMean, 100*rel, groups)
+	}
+}
+
+// TestSnapshotSampleUniformity is the chain-sampler-style distribution
+// check: samples drawn from a merged engine snapshot must cover the live
+// groups with low dispersion (stddev/mean over per-group sample counts).
+func TestSnapshotSampleUniformity(t *testing.T) {
+	const groups, dup = 64, 8
+	pts := stream(groups, dup, 17)
+	opts := core.Options{
+		Alpha: 1, Dim: 2, Seed: 31,
+		StreamBound: len(pts) + 1,
+		Kappa:       32, // R = 1: every group accepted, sampling is query-side
+	}
+	eng, err := NewSamplerEngine(opts, Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	eng.ProcessBatch(pts)
+	snap, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const draws = 64 * groups
+	hist := make(map[int]int, groups)
+	for i := 0; i < draws; i++ {
+		res, err := snap.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := int(math.Round(res.Sample[0]/10)) + 64*int(math.Round(res.Sample[1]/10))
+		hist[g]++
+	}
+	if len(hist) != groups {
+		t.Fatalf("samples covered %d of %d groups", len(hist), groups)
+	}
+	mean := float64(draws) / groups
+	var ss float64
+	for _, c := range hist {
+		d := float64(c) - mean
+		ss += d * d
+	}
+	stddev := math.Sqrt(ss / groups)
+	// Uniform draws have stddev/mean ≈ sqrt(groups/draws) = 1/8; flag
+	// anything past 2.5× that.
+	if ratio := stddev / mean; ratio > 0.32 {
+		t.Errorf("std dev %.2f / mean %.2f = %.3f: snapshot samples are not uniform over groups",
+			stddev, mean, ratio)
+	}
+}
+
+// TestEngineBackpressureAndStats: a slow single shard with a shallow
+// queue must not drop points, and Stats must account for every point.
+func TestEngineBackpressureAndStats(t *testing.T) {
+	pts := stream(50, 20, 23)
+	opts := core.Options{Alpha: 1, Dim: 2, Seed: 3, StreamBound: len(pts) + 1}
+	eng, err := NewSamplerEngine(opts, Config{Shards: 2, BatchSize: 8, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		eng.Process(p)
+	}
+	eng.Drain()
+	st := eng.Stats()
+	if st.Processed != int64(len(pts)) {
+		t.Fatalf("processed %d of %d points", st.Processed, len(pts))
+	}
+	if st.SpaceWords <= 0 || st.Throughput <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	var perShard int64
+	for _, n := range st.PerShard {
+		perShard += n
+	}
+	if perShard != st.Processed {
+		t.Fatalf("per-shard counts sum to %d, processed %d", perShard, st.Processed)
+	}
+	eng.Close()
+	eng.Close() // idempotent
+	if _, err := eng.Query(); err != nil {
+		t.Fatalf("query after close: %v", err)
+	}
+}

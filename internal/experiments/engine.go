@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+)
+
+// EngineResult measures the sharded streaming engine on one dataset at
+// one shard count: ingestion throughput of repeated stream scans, the
+// merged-snapshot F0-style estimate against ground truth, and the
+// routing balance (max/mean per-shard load).
+type EngineResult struct {
+	Dataset    string
+	Shards     int
+	Points     int64
+	Elapsed    time.Duration
+	Throughput float64 // points per second
+	Estimate   float64 // merged |Sacc|·R from the snapshot
+	RelErr     float64 // vs the ground-truth group count
+	Imbalance  float64 // max shard load / mean shard load (1 = perfect)
+}
+
+// EngineScaling streams `scans` passes over the dataset through engines
+// with 1, 2, 4, ... maxShards shards and reports per-shard-count results.
+// Throughput numbers are only meaningful relative to each other on the
+// same machine; estimates must agree with the sequential sampler's
+// regardless of shard count.
+func EngineScaling(spec dataset.Spec, maxShards, scans int, seed uint64) ([]EngineResult, error) {
+	inst := dataset.Build(spec, seed)
+	opts := samplerOptions(inst, seed^0xe4941e)
+	opts.StreamBound = scans*len(inst.Points) + 1
+	var out []EngineResult
+	for shards := 1; shards <= maxShards; shards *= 2 {
+		eng, err := engine.NewSamplerEngine(opts, engine.Config{Shards: shards})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for s := 0; s < scans; s++ {
+			eng.ProcessBatch(inst.Points)
+		}
+		eng.Drain()
+		elapsed := time.Since(start)
+		res, err := eng.Query()
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		st := eng.Stats()
+		eng.Close()
+
+		var maxLoad int64
+		for _, n := range st.PerShard {
+			if n > maxLoad {
+				maxLoad = n
+			}
+		}
+		mean := float64(st.Processed) / float64(shards)
+		out = append(out, EngineResult{
+			Dataset:    spec.Name(),
+			Shards:     shards,
+			Points:     st.Processed,
+			Elapsed:    elapsed,
+			Throughput: float64(st.Processed) / elapsed.Seconds(),
+			Estimate:   res.Estimate,
+			RelErr:     metrics.RelErr(res.Estimate, float64(inst.NumGroups)),
+			Imbalance:  float64(maxLoad) / mean,
+		})
+	}
+	return out, nil
+}
+
+// MaxEngineShards returns the default upper shard count for the scaling
+// sweep: the next power of two ≥ GOMAXPROCS, at least 4.
+func MaxEngineShards() int {
+	n := 4
+	for n < runtime.GOMAXPROCS(0) {
+		n *= 2
+	}
+	return n
+}

@@ -1,0 +1,54 @@
+package f0
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// ProcessBatch feeds a batch of stream points in order.
+func (e *InfiniteEstimator) ProcessBatch(ps []geom.Point) { e.s.ProcessBatch(ps) }
+
+// ProcessBatch feeds the batch to every copy, copy-major, so each copy's
+// sketch state stays hot for the length of the batch.
+func (m *Median) ProcessBatch(ps []geom.Point) {
+	for _, c := range m.copies {
+		c.ProcessBatch(ps)
+	}
+}
+
+// ProcessBatch feeds the batch to every window-sampler copy, copy-major
+// (sequence-based windows; each copy stamps points with its own arrival
+// index, which advances identically across copies).
+func (we *WindowEstimator) ProcessBatch(ps []geom.Point) {
+	for _, c := range we.copies {
+		c.ProcessBatch(ps)
+	}
+}
+
+// Merge combines another InfiniteEstimator built with the same options
+// into e, producing the estimator of the concatenated stream. This is the
+// distributed/sharded setting: estimate F0 of a union of streams from
+// per-shard sketches.
+func (e *InfiniteEstimator) Merge(o *InfiniteEstimator) error {
+	if e.eps != o.eps {
+		return fmt.Errorf("f0: merging estimators with different epsilon (%g vs %g)", e.eps, o.eps)
+	}
+	return e.s.MergeFrom(o.s)
+}
+
+// Merge combines another Median built with the same options into m,
+// copy by copy. Both estimators must have been constructed with the same
+// root seed so that corresponding copies share a grid and hash function.
+func (m *Median) Merge(o *Median) error {
+	if len(m.copies) != len(o.copies) {
+		return fmt.Errorf("f0: merging medians with different copy counts (%d vs %d)",
+			len(m.copies), len(o.copies))
+	}
+	for i := range m.copies {
+		if err := m.copies[i].Merge(o.copies[i]); err != nil {
+			return fmt.Errorf("f0: merging copy %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -95,7 +95,22 @@ func (g *Grid) CoordOf(p geom.Point) Coord {
 }
 
 // CellOf returns the key of the cell containing p.
-func (g *Grid) CellOf(p geom.Point) CellKey { return g.CoordOf(p).Key() }
+func (g *Grid) CellOf(p geom.Point) CellKey { return CellKey(g.CellHash(p)) }
+
+// CellHash returns the cell key of p as a raw uint64 without allocating
+// the intermediate coordinate vector — the ingestion/routing hot path.
+// It must stay equivalent to CoordOf(p).Key() (differentially tested).
+func (g *Grid) CellHash(p geom.Point) uint64 {
+	if len(p) != g.dim {
+		panic(fmt.Sprintf("grid: point dimension %d does not match grid dimension %d", len(p), g.dim))
+	}
+	acc := uint64(g.dim) * 0x9e3779b97f4a7c15
+	for i, x := range p {
+		c := int64(math.Floor((x - g.shift[i]) / g.side))
+		acc = hash.Mix64(acc ^ uint64(c))
+	}
+	return acc
+}
 
 // CellDist returns the Euclidean distance from p to the closed cell with
 // integer coordinates c (zero if p lies inside the cell).

@@ -1,0 +1,111 @@
+package sketch
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/f0"
+	"repro/internal/geom"
+	"repro/internal/window"
+)
+
+// F0 is the Section 5 robust distinct-count estimator behind the unified
+// interface: points within Alpha of each other count as one element. It
+// median-boosts over independent copies; Query returns the estimate only.
+type F0 struct {
+	m *f0.Median
+}
+
+var _ Mergeable = (*F0)(nil)
+
+// NewF0 builds a robust F0 estimator with target accuracy (1±eps),
+// median-boosted over copies independent copies (minimum 1).
+func NewF0(opts core.Options, eps float64, copies int) (*F0, error) {
+	m, err := f0.NewMedian(opts, eps, 0, copies)
+	if err != nil {
+		return nil, err
+	}
+	return &F0{m: m}, nil
+}
+
+// Median exposes the underlying estimator stack.
+func (e *F0) Median() *f0.Median { return e.m }
+
+// Process feeds the next stream point to every copy.
+func (e *F0) Process(p geom.Point) { e.m.Process(p) }
+
+// ProcessBatch feeds a batch of points, copy-major.
+func (e *F0) ProcessBatch(ps []geom.Point) { e.m.ProcessBatch(ps) }
+
+// Query returns the median robust F0 estimate.
+func (e *F0) Query() (Result, error) {
+	est, err := e.m.Estimate()
+	if err != nil {
+		return Result{Estimate: NoEstimate}, err
+	}
+	return Result{Estimate: est}, nil
+}
+
+// Space returns the live sketch words summed over copies.
+func (e *F0) Space() int { return e.m.SpaceWords() }
+
+// Serialize is unsupported for estimator stacks.
+func (e *F0) Serialize() ([]byte, error) { return nil, ErrNotSerializable }
+
+// Merge unions another F0 built with identical options into e, copy by
+// copy; the other sketch is left intact.
+func (e *F0) Merge(other Sketch) error {
+	o, ok := other.(*F0)
+	if !ok {
+		return fmt.Errorf("%w: cannot merge %T into *sketch.F0", ErrIncompatible, other)
+	}
+	return e.m.Merge(o.m)
+}
+
+// WindowF0 is the sliding-window robust distinct-count estimator behind
+// the unified interface.
+type WindowF0 struct {
+	we *f0.WindowEstimator
+}
+
+var _ Sketch = (*WindowF0)(nil)
+
+// NewWindowF0 builds a sliding-window robust F0 estimator with target
+// accuracy (1±eps).
+func NewWindowF0(opts core.Options, win window.Window, eps float64) (*WindowF0, error) {
+	we, err := f0.NewWindowEstimator(opts, win, eps, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &WindowF0{we: we}, nil
+}
+
+// Estimator exposes the underlying window estimator (e.g. for ProcessAt
+// with explicit stamps).
+func (e *WindowF0) Estimator() *f0.WindowEstimator { return e.we }
+
+// Process feeds the next point (sequence-based windows).
+func (e *WindowF0) Process(p geom.Point) { e.we.Process(p) }
+
+// ProcessAt feeds the next point with an explicit stamp (time-based
+// windows).
+func (e *WindowF0) ProcessAt(p geom.Point, stamp int64) { e.we.ProcessAt(p, stamp) }
+
+// ProcessBatch feeds a batch of points, copy-major.
+func (e *WindowF0) ProcessBatch(ps []geom.Point) { e.we.ProcessBatch(ps) }
+
+// Query returns the estimated number of distinct groups with a point in
+// the current window.
+func (e *WindowF0) Query() (Result, error) {
+	est, err := e.we.Estimate()
+	if err != nil {
+		return Result{Estimate: NoEstimate}, err
+	}
+	return Result{Estimate: est}, nil
+}
+
+// Space returns the live sketch words summed over copies.
+func (e *WindowF0) Space() int { return e.we.SpaceWords() }
+
+// Serialize is unsupported for window sketches.
+func (e *WindowF0) Serialize() ([]byte, error) { return nil, ErrNotSerializable }

@@ -1,0 +1,134 @@
+package sketch
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/window"
+)
+
+// L0 is the robust ℓ0-sampler (Algorithm 1) behind the unified interface.
+// Query returns both a uniform group sample and the coarse |Sacc|·R
+// distinct-group estimate; for a calibrated (1±ε) estimate use F0.
+type L0 struct {
+	s *core.Sampler
+}
+
+var _ Mergeable = (*L0)(nil)
+
+// NewL0 builds an infinite-window robust ℓ0-sampler sketch.
+func NewL0(opts core.Options) (*L0, error) {
+	s, err := core.NewSampler(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &L0{s: s}, nil
+}
+
+// WrapSampler adapts an existing core.Sampler. The sampler must not be
+// used directly while the wrapper is in use.
+func WrapSampler(s *core.Sampler) *L0 { return &L0{s: s} }
+
+// RestoreL0 reconstructs a serialized L0 sketch.
+func RestoreL0(data []byte) (*L0, error) {
+	s, err := core.UnmarshalSampler(data)
+	if err != nil {
+		return nil, err
+	}
+	return &L0{s: s}, nil
+}
+
+// Sampler exposes the underlying core.Sampler for callers needing the
+// full Algorithm 1 surface (QueryK, diagnostics).
+func (l *L0) Sampler() *core.Sampler { return l.s }
+
+// Process feeds the next stream point.
+func (l *L0) Process(p geom.Point) { l.s.Process(p) }
+
+// ProcessBatch feeds a batch of points in stream order.
+func (l *L0) ProcessBatch(ps []geom.Point) { l.s.ProcessBatch(ps) }
+
+// Query returns a uniform robust ℓ0-sample and the |Sacc|·R group-count
+// estimate.
+func (l *L0) Query() (Result, error) {
+	p, err := l.s.Query()
+	if err != nil {
+		return Result{Estimate: NoEstimate}, err
+	}
+	return Result{
+		Sample:   p,
+		Estimate: float64(l.s.AcceptSize()) * float64(l.s.R()),
+	}, nil
+}
+
+// QueryK returns min(k, |Sacc|) samples without replacement (construct
+// with Options.K = k so that |Sacc| ≥ k with high probability).
+func (l *L0) QueryK(k int) ([]geom.Point, error) { return l.s.QueryK(k) }
+
+// Space returns the live sketch words.
+func (l *L0) Space() int { return l.s.SpaceWords() }
+
+// Serialize encodes the sketch; see core.Sampler.MarshalBinary.
+func (l *L0) Serialize() ([]byte, error) { return l.s.MarshalBinary() }
+
+// Merge unions another L0 built with identical Options into l in place;
+// the other sketch is left intact. This is the distributed/sharded
+// setting: sketch shards independently, merge, query the union.
+func (l *L0) Merge(other Sketch) error {
+	o, ok := other.(*L0)
+	if !ok {
+		return fmt.Errorf("%w: cannot merge %T into *sketch.L0", ErrIncompatible, other)
+	}
+	return l.s.MergeFrom(o.s)
+}
+
+// WindowL0 is the hierarchical sliding-window robust ℓ0-sampler
+// (Algorithms 3–5) behind the unified interface. Process stamps points
+// with their arrival index (sequence windows); use ProcessAt for
+// time-based windows.
+type WindowL0 struct {
+	ws *core.WindowSampler
+}
+
+var _ Sketch = (*WindowL0)(nil)
+
+// NewWindowL0 builds a sliding-window robust ℓ0-sampler sketch.
+func NewWindowL0(opts core.Options, win window.Window) (*WindowL0, error) {
+	ws, err := core.NewWindowSampler(opts, win)
+	if err != nil {
+		return nil, err
+	}
+	return &WindowL0{ws: ws}, nil
+}
+
+// WindowSampler exposes the underlying core.WindowSampler.
+func (w *WindowL0) WindowSampler() *core.WindowSampler { return w.ws }
+
+// Process feeds the next point of a sequence-based window.
+func (w *WindowL0) Process(p geom.Point) { w.ws.Process(p) }
+
+// ProcessAt feeds the next point with an explicit stamp (time-based
+// windows). Stamps must be non-decreasing.
+func (w *WindowL0) ProcessAt(p geom.Point, stamp int64) { w.ws.ProcessAt(p, stamp) }
+
+// ProcessBatch feeds a batch of points in stream order.
+func (w *WindowL0) ProcessBatch(ps []geom.Point) { w.ws.ProcessBatch(ps) }
+
+// Query returns a uniform robust ℓ0-sample of the groups with a point in
+// the current window. Window sketches carry no calibrated estimate; use
+// WindowF0 for counting.
+func (w *WindowL0) Query() (Result, error) {
+	p, err := w.ws.Query()
+	if err != nil {
+		return Result{Estimate: NoEstimate}, err
+	}
+	return Result{Sample: p, Estimate: NoEstimate}, nil
+}
+
+// Space returns the live sketch words summed over levels.
+func (w *WindowL0) Space() int { return w.ws.SpaceWords() }
+
+// Serialize is unsupported for window sketches (the expiry structure has
+// no wire format).
+func (w *WindowL0) Serialize() ([]byte, error) { return nil, ErrNotSerializable }

@@ -1,0 +1,83 @@
+// Package sketch defines the unified streaming-sketch interface of this
+// repository and adapters implementing it for every sketch family:
+//
+//   - L0 — Algorithm 1, the robust ℓ0-sampler (core.Sampler)
+//   - WindowL0 — Algorithms 3–5, the sliding-window sampler (core.WindowSampler)
+//   - F0 / WindowF0 — the Section 5 robust distinct-count estimators
+//   - KMV, FM, HyperLogLog, LinearCounting, Reservoir — the duplicate-blind
+//     baselines (internal/baseline)
+//
+// Every sketch ingests points one at a time (Process) or in batches
+// (ProcessBatch — the fast path used by the sharded engine), answers
+// queries with a Result carrying a distinct sample and/or a distinct-count
+// estimate, reports its live size in words, and serializes when the
+// underlying sketch supports it. Sketches whose union is well defined
+// additionally implement Mergeable, which is what lets internal/engine
+// shard a stream and answer queries from a merged snapshot.
+package sketch
+
+import (
+	"errors"
+
+	"repro/internal/geom"
+)
+
+// NoEstimate is the Result.Estimate value of sketches that sample but do
+// not estimate cardinality (any negative value means "no estimate").
+const NoEstimate = -1
+
+// ErrNotSerializable is returned by Serialize on sketches with no wire
+// format (window sketches, estimator stacks, sketches over custom Spaces).
+var ErrNotSerializable = errors.New("sketch: not serializable")
+
+// ErrIncompatible is returned by Merge when the other sketch is of a
+// different type or was built with different parameters.
+var ErrIncompatible = errors.New("sketch: incompatible sketches")
+
+// Result is a query answer. A sketch fills the fields it supports:
+// Sample is nil for estimate-only sketches, and Estimate is negative
+// (NoEstimate) for sample-only sketches.
+type Result struct {
+	// Sample is a robust distinct sample: one point per sampled group,
+	// groups equiprobable. Callers must not mutate it.
+	Sample geom.Point
+
+	// Estimate approximates the number of distinct groups processed
+	// (robust F0 for the α-aware sketches, exact-duplicate F0 for the
+	// baselines).
+	Estimate float64
+}
+
+// Sketch is the unified streaming-sketch interface.
+type Sketch interface {
+	// Process feeds the next stream point.
+	Process(p geom.Point)
+
+	// ProcessBatch feeds a batch of points in stream order. Equivalent to
+	// calling Process per point but cheaper: implementations amortize
+	// hashing and virtual dispatch across the batch.
+	ProcessBatch(ps []geom.Point)
+
+	// Query answers from the current sketch state. The error is non-nil
+	// when the sketch has nothing to answer from (empty stream or the
+	// algorithm's low-probability failure event).
+	Query() (Result, error)
+
+	// Space returns the live sketch size in machine words, following the
+	// paper's word-count accounting.
+	Space() int
+
+	// Serialize encodes the sketch for checkpointing or shipping;
+	// ErrNotSerializable when the sketch has no wire format.
+	Serialize() ([]byte, error)
+}
+
+// Mergeable is implemented by sketches whose union is well defined: after
+// a.Merge(b), a answers queries as if it had processed both streams. Both
+// sketches must have been built with identical parameters and seed (they
+// must agree on grids and hash functions); Merge returns ErrIncompatible
+// (or a parameter-specific error) otherwise. b is not modified.
+type Mergeable interface {
+	Sketch
+	Merge(other Sketch) error
+}
