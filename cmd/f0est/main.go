@@ -49,7 +49,7 @@ func main() {
 
 	if *windowW > 0 {
 		if *shards > 1 {
-			fatal(fmt.Errorf("-shards does not support sliding windows yet"))
+			fatal(fmt.Errorf("%w: drop -shards to run the sliding-window estimator single-threaded, or drop -window to shard the infinite-window estimator (see docs/engine.md, \"Limitations\")", engine.ErrWindowedSharding))
 		}
 		opts.Kappa = 1
 		opts.StreamBound = 16

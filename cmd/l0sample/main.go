@@ -55,7 +55,7 @@ func main() {
 
 	if *windowW > 0 {
 		if *shards > 1 {
-			fatal(fmt.Errorf("-shards does not support sliding windows yet"))
+			fatal(fmt.Errorf("%w: drop -shards to run the sliding-window sampler single-threaded, or drop -window to shard the infinite-window sampler (see docs/engine.md, \"Limitations\")", engine.ErrWindowedSharding))
 		}
 		ws, err := sketch.NewWindowL0(opts, window.Window{Kind: window.Sequence, W: *windowW})
 		if err != nil {

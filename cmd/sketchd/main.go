@@ -1,0 +1,157 @@
+// Command sketchd is the network-facing ingest and query daemon: a sharded
+// robust-sketch engine behind an HTTP API. Points arrive over the wire in
+// NDJSON or binary batches, queries are answered from a cached merged
+// snapshot, and the full engine state survives restarts through
+// checkpoint files.
+//
+//	sketchd -dim 2 -alpha 0.5 -shards 8 -checkpoint /var/lib/sketchd.ckpt
+//	sketchd -dim 2 -alpha 0.5 -shards 8 -checkpoint /var/lib/sketchd.ckpt -restore
+//	sketchd -dim 3 -sketch f0 -eps 0.2 -copies 9
+//
+// Endpoints (full reference and a worked curl session in docs/server.md):
+//
+//	POST /ingest      point batches (NDJSON lines or packed float64s)
+//	GET  /query       robust sample + distinct estimate (?k= for k samples)
+//	GET  /stats       engine + server counters
+//	POST /checkpoint  atomically persist engine state to -checkpoint
+//	GET  /healthz     liveness
+//
+// On SIGINT/SIGTERM the daemon stops accepting requests, drains the
+// engine, and — when -save-on-exit is set — writes a final checkpoint, so
+// a subsequent -restore resumes exactly where the stream left off.
+// Restoring requires the same -sketch family, options, seed, and -shards
+// as the checkpointing run.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7070", "listen address")
+		kind    = flag.String("sketch", "l0", "sketch family per shard: l0 (robust sampler) or f0 (robust distinct-count estimator)")
+		alpha   = flag.Float64("alpha", 1, "distance threshold α: points within α are near-duplicates")
+		dim     = flag.Int("dim", 0, "point dimension (required)")
+		m       = flag.Int("m", 1<<20, "stream-length bound m sizing thresholds and hash independence")
+		kappa   = flag.Int("kappa", 0, "accept-set threshold constant κ0 (0 = default)")
+		k       = flag.Int("k", 1, "samples without replacement to support per query (l0 only)")
+		eps     = flag.Float64("eps", 0.25, "target accuracy (1±ε) of the f0 estimator")
+		copies  = flag.Int("copies", 9, "median-boosting copies of the f0 estimator")
+		seed    = flag.Uint64("seed", 1, "random seed (must match across checkpoint/restore)")
+		shards  = flag.Int("shards", 0, "worker shards (0 = GOMAXPROCS; must match across checkpoint/restore)")
+		batch   = flag.Int("batch", 256, "points per worker batch")
+		queue   = flag.Int("queue", 4, "batches buffered per shard before producers block")
+		ckpt    = flag.String("checkpoint", "", "checkpoint file written by POST /checkpoint (empty disables)")
+		restore = flag.Bool("restore", false, "restore engine state from -checkpoint at startup")
+		saveEnd = flag.Bool("save-on-exit", false, "write a final checkpoint to -checkpoint on graceful shutdown")
+		windowW = flag.Int64("window", 0, "unsupported: sliding windows cannot be sharded (see docs/engine.md)")
+	)
+	flag.Parse()
+
+	if *windowW > 0 {
+		fatal(fmt.Errorf("%w; run cmd/l0sample or cmd/f0est without -shards for sliding-window queries",
+			engine.ErrWindowedSharding))
+	}
+	if *dim < 1 {
+		fatal(fmt.Errorf("-dim is required"))
+	}
+	if (*restore || *saveEnd) && *ckpt == "" {
+		fatal(fmt.Errorf("-restore and -save-on-exit need -checkpoint"))
+	}
+
+	opts := core.Options{
+		Alpha:       *alpha,
+		Dim:         *dim,
+		StreamBound: *m,
+		Kappa:       *kappa,
+		K:           *k,
+		Seed:        *seed,
+		HighDim:     true,
+	}
+	var (
+		eng *engine.Engine
+		err error
+	)
+	cfg := engine.Config{Shards: *shards, BatchSize: *batch, QueueDepth: *queue}
+	switch *kind {
+	case "l0":
+		eng, err = engine.NewSamplerEngine(opts, cfg)
+	case "f0":
+		eng, err = engine.NewF0Engine(opts, *eps, *copies, cfg)
+	default:
+		err = fmt.Errorf("unknown -sketch %q (want l0 or f0)", *kind)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *restore {
+		if err := eng.RestoreFile(*ckpt); err != nil {
+			fatal(err)
+		}
+		log.Printf("restored %d points from %s", eng.Stats().Enqueued, *ckpt)
+	}
+
+	srv, err := server.New(server.Config{Engine: eng, Dim: *dim, CheckpointPath: *ckpt})
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("sketchd: %s engine, %d shards, listening on %s", *kind, eng.Stats().Shards, *addr)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("sketchd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		// In-flight handlers may still be mid-ingest: draining,
+		// checkpointing, or closing the engine now would race them
+		// (Close must not run concurrently with ProcessBatch). Exit
+		// without touching the engine; the previous checkpoint on disk
+		// stays valid.
+		log.Printf("sketchd: shutdown: %v; skipping final drain/checkpoint", err)
+		os.Exit(1)
+	}
+	eng.Drain()
+	if *saveEnd {
+		size, points, err := eng.CheckpointFile(*ckpt)
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("sketchd: final checkpoint: %d points, %d bytes to %s", points, size, *ckpt)
+	}
+	eng.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sketchd:", err)
+	os.Exit(1)
+}

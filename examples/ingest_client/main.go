@@ -1,0 +1,172 @@
+// Ingest client: the full sketchd round trip against a live HTTP server.
+//
+// The example boots the cmd/sketchd server stack in-process on a loopback
+// port (the same internal/server handler the daemon serves), then acts as
+// a fleet of clients: eight goroutines stream a noisy point cloud as
+// NDJSON ingest batches, queries are answered from the engine's cached
+// merged snapshot, the engine state is checkpointed over HTTP, and a
+// "restarted" server restored from that checkpoint answers the same query
+// with the identical estimate.
+//
+// Run with: go run ./examples/ingest_client
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/server"
+)
+
+const (
+	numGroups = 500 // distinct near-duplicate groups
+	dup       = 40  // occurrences per group
+	clients   = 8
+	batchSize = 1000
+)
+
+func main() {
+	// A noisy stream: 500 well-separated groups, 40 near-duplicates each.
+	rng := rand.New(rand.NewPCG(7, 77))
+	pts := make([]geom.Point, 0, numGroups*dup)
+	for g := 0; g < numGroups; g++ {
+		cx, cy := float64(g%25)*10, float64(g/25)*10
+		for d := 0; d < dup; d++ {
+			pts = append(pts, geom.Point{cx + (rng.Float64()-0.5)*0.5, cy + (rng.Float64()-0.5)*0.5})
+		}
+	}
+	rng.Shuffle(len(pts), func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+
+	opts := core.Options{
+		Alpha: 1, Dim: 2, Seed: 99,
+		StreamBound: len(pts) + 1,
+		Kappa:       64, // threshold above the group count: exact estimates
+	}
+	ckpt := filepath.Join(os.TempDir(), "ingest_client.ckpt")
+	defer os.Remove(ckpt)
+
+	// Boot the server stack on a loopback port.
+	baseURL, shutdown := boot(opts, ckpt, false)
+	fmt.Printf("sketchd serving on %s\n", baseURL)
+
+	// Eight clients stream their slices as NDJSON batches.
+	var wg sync.WaitGroup
+	chunk := (len(pts) + clients - 1) / clients
+	for c := 0; c < clients; c++ {
+		lo, hi := c*chunk, min((c+1)*chunk, len(pts))
+		wg.Add(1)
+		go func(ps []geom.Point) {
+			defer wg.Done()
+			for i := 0; i < len(ps); i += batchSize {
+				batch := ps[i:min(i+batchSize, len(ps))]
+				var body bytes.Buffer
+				for _, p := range batch {
+					line, _ := json.Marshal([]float64(p))
+					body.Write(line)
+					body.WriteByte('\n')
+				}
+				resp, err := http.Post(baseURL+"/ingest", "application/x-ndjson", &body)
+				if err != nil {
+					log.Fatal(err)
+				}
+				resp.Body.Close()
+			}
+		}(pts[lo:hi])
+	}
+	wg.Wait()
+
+	var st server.StatsResponse
+	getJSON(baseURL+"/stats", &st)
+	fmt.Printf("ingested %d points over %d HTTP batches across %d shards (%.0f pts/s)\n",
+		st.Engine.Processed, st.IngestRequests, st.Engine.Shards, st.Engine.Throughput)
+
+	var q server.QueryResponse
+	getJSON(baseURL+"/query?k=3", &q)
+	fmt.Printf("robust distinct estimate %.0f (truth %d), sample %v\n", q.Estimate, numGroups, q.Sample)
+
+	// Repeat queries ride the snapshot cache — no re-merge.
+	for i := 0; i < 20; i++ {
+		getJSON(baseURL+"/query", &q)
+	}
+	getJSON(baseURL+"/stats", &st)
+	fmt.Printf("21 queries → %d snapshot merges (%d cache hits)\n",
+		st.Engine.SnapshotMisses, st.Engine.SnapshotHits)
+
+	// Persist the engine and restart from the checkpoint.
+	resp, err := http.Post(baseURL+"/checkpoint", "", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ck server.CheckpointResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ck); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("checkpointed %d points (%d bytes) to %s\n", ck.Points, ck.Bytes, ck.Path)
+
+	shutdown()
+	baseURL2, shutdown2 := boot(opts, ckpt, true)
+	defer shutdown2()
+	var q2 server.QueryResponse
+	getJSON(baseURL2+"/query", &q2)
+	fmt.Printf("restarted with -restore: estimate %.0f (identical: %v)\n",
+		q2.Estimate, q2.Estimate == q.Estimate)
+}
+
+// boot builds an engine (optionally restored from ckpt), wraps it in the
+// HTTP server, and serves it on a loopback listener. The returned shutdown
+// closes the listener and the engine.
+func boot(opts core.Options, ckpt string, restore bool) (string, func()) {
+	eng, err := engine.NewSamplerEngine(opts, engine.Config{Shards: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if restore {
+		if err := eng.RestoreFile(ckpt); err != nil {
+			log.Fatal(err)
+		}
+	}
+	srv, err := server.New(server.Config{Engine: eng, Dim: opts.Dim, CheckpointPath: ckpt})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go func() {
+		if err := httpSrv.Serve(ln); err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	return "http://" + ln.Addr().String(), func() {
+		httpSrv.Close()
+		eng.Close()
+	}
+}
+
+func getJSON(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -54,7 +54,10 @@ func (f *FM) Estimate() float64 { return math.Pow(2, float64(f.Z())) / fmPhi }
 
 // FMGroup averages the Z observable over c independent FM counters
 // (stochastic averaging), the standard variance reduction.
-type FMGroup struct{ copies []*FM }
+type FMGroup struct {
+	copies []*FM
+	seed   uint64
+}
 
 // NewFMGroup builds c independent counters.
 func NewFMGroup(c int, seed uint64) *FMGroup {
@@ -66,7 +69,7 @@ func NewFMGroup(c int, seed uint64) *FMGroup {
 	for i := range copies {
 		copies[i] = NewFM(sm.Next())
 	}
-	return &FMGroup{copies: copies}
+	return &FMGroup{copies: copies, seed: seed}
 }
 
 // Process feeds the next point to every copy.
@@ -94,6 +97,7 @@ func (g *FMGroup) Estimate() float64 {
 type HyperLogLog struct {
 	h    hash.Func
 	b    uint // register index bits; m = 2^b registers
+	seed uint64
 	regs []uint8
 }
 
@@ -105,7 +109,7 @@ func NewHyperLogLog(b uint, seed uint64) *HyperLogLog {
 	if b > 16 {
 		b = 16
 	}
-	return &HyperLogLog{h: hash.NewPRF(seed), b: b, regs: make([]uint8, 1<<b)}
+	return &HyperLogLog{h: hash.NewPRF(seed), b: b, seed: seed, regs: make([]uint8, 1<<b)}
 }
 
 // Process feeds the next point.
@@ -162,6 +166,7 @@ func (h *HyperLogLog) Estimate() float64 {
 // estimate is m·ln(m/zeros). Accurate while the bitmap is sparse.
 type LinearCounting struct {
 	h    hash.Func
+	seed uint64
 	bits []uint64
 	m    uint64
 }
@@ -173,7 +178,7 @@ func NewLinearCounting(m int, seed uint64) *LinearCounting {
 		m = 64
 	}
 	words := (m + 63) / 64
-	return &LinearCounting{h: hash.NewPRF(seed), bits: make([]uint64, words), m: uint64(words * 64)}
+	return &LinearCounting{h: hash.NewPRF(seed), seed: seed, bits: make([]uint64, words), m: uint64(words * 64)}
 }
 
 // Process feeds the next point.

@@ -1,0 +1,193 @@
+package baseline
+
+// This file gives the mergeable baseline sketches a binary wire format so
+// they can be checkpointed and restored alongside the robust sketches
+// (pkg/sketch wraps these in its versioned envelope; internal/engine uses
+// that envelope for engine-level checkpoint/restore). Each sketch stores
+// its construction seed, so a restored sketch rebuilds the identical hash
+// function and keeps ingesting consistently after restore.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// kmvState is the gob wire form of a KMV sketch.
+type kmvState struct {
+	K    int
+	Seed uint64
+	Vals []uint64
+	N    int64
+}
+
+// MarshalBinary serializes the sketch; the counterpart is UnmarshalKMV.
+func (s *KMV) MarshalBinary() ([]byte, error) {
+	return gobEncode(kmvState{K: s.k, Seed: s.seed, Vals: s.vals, N: s.n})
+}
+
+// UnmarshalKMV reconstructs a KMV sketch from MarshalBinary output.
+func UnmarshalKMV(data []byte) (*KMV, error) {
+	var st kmvState
+	if err := gobDecode(data, &st); err != nil {
+		return nil, fmt.Errorf("baseline: decoding KMV: %w", err)
+	}
+	if st.K < 2 || len(st.Vals) > st.K {
+		return nil, fmt.Errorf("baseline: corrupt KMV: k=%d with %d values", st.K, len(st.Vals))
+	}
+	for i := 1; i < len(st.Vals); i++ {
+		if st.Vals[i-1] >= st.Vals[i] {
+			return nil, fmt.Errorf("baseline: corrupt KMV: values not strictly ascending")
+		}
+	}
+	s := NewKMV(st.K, st.Seed)
+	s.vals = st.Vals
+	s.n = st.N
+	return s, nil
+}
+
+// fmGroupState is the gob wire form of an FMGroup: the group seed re-derives
+// every copy's hash function, so only the bitmaps are dynamic state.
+type fmGroupState struct {
+	Seed    uint64
+	Bitmaps []uint64
+}
+
+// MarshalBinary serializes the group; the counterpart is UnmarshalFMGroup.
+func (g *FMGroup) MarshalBinary() ([]byte, error) {
+	bitmaps := make([]uint64, len(g.copies))
+	for i, f := range g.copies {
+		bitmaps[i] = f.bitmap
+	}
+	return gobEncode(fmGroupState{Seed: g.seed, Bitmaps: bitmaps})
+}
+
+// UnmarshalFMGroup reconstructs an FMGroup from MarshalBinary output.
+func UnmarshalFMGroup(data []byte) (*FMGroup, error) {
+	var st fmGroupState
+	if err := gobDecode(data, &st); err != nil {
+		return nil, fmt.Errorf("baseline: decoding FM group: %w", err)
+	}
+	if len(st.Bitmaps) == 0 {
+		return nil, fmt.Errorf("baseline: corrupt FM group: no copies")
+	}
+	g := NewFMGroup(len(st.Bitmaps), st.Seed)
+	for i, b := range st.Bitmaps {
+		g.copies[i].bitmap = b
+	}
+	return g, nil
+}
+
+// hllState is the gob wire form of a HyperLogLog sketch.
+type hllState struct {
+	B    uint
+	Seed uint64
+	Regs []uint8
+}
+
+// MarshalBinary serializes the sketch; the counterpart is UnmarshalHyperLogLog.
+func (h *HyperLogLog) MarshalBinary() ([]byte, error) {
+	return gobEncode(hllState{B: h.b, Seed: h.seed, Regs: h.regs})
+}
+
+// UnmarshalHyperLogLog reconstructs an HLL from MarshalBinary output.
+func UnmarshalHyperLogLog(data []byte) (*HyperLogLog, error) {
+	var st hllState
+	if err := gobDecode(data, &st); err != nil {
+		return nil, fmt.Errorf("baseline: decoding HLL: %w", err)
+	}
+	if st.B < 4 || st.B > 16 || len(st.Regs) != 1<<st.B {
+		return nil, fmt.Errorf("baseline: corrupt HLL: b=%d with %d registers", st.B, len(st.Regs))
+	}
+	h := NewHyperLogLog(st.B, st.Seed)
+	copy(h.regs, st.Regs)
+	return h, nil
+}
+
+// lcState is the gob wire form of a LinearCounting sketch.
+type lcState struct {
+	Seed uint64
+	Bits []uint64
+}
+
+// MarshalBinary serializes the sketch; the counterpart is UnmarshalLinearCounting.
+func (lc *LinearCounting) MarshalBinary() ([]byte, error) {
+	return gobEncode(lcState{Seed: lc.seed, Bits: lc.bits})
+}
+
+// UnmarshalLinearCounting reconstructs a linear counter from MarshalBinary
+// output.
+func UnmarshalLinearCounting(data []byte) (*LinearCounting, error) {
+	var st lcState
+	if err := gobDecode(data, &st); err != nil {
+		return nil, fmt.Errorf("baseline: decoding linear counter: %w", err)
+	}
+	if len(st.Bits) == 0 {
+		return nil, fmt.Errorf("baseline: corrupt linear counter: empty bitmap")
+	}
+	lc := NewLinearCounting(len(st.Bits)*64, st.Seed)
+	copy(lc.bits, st.Bits)
+	return lc, nil
+}
+
+// reservoirState is the gob wire form of a Reservoir. The PCG state is
+// stored explicitly so a restored reservoir continues the exact random
+// sequence of the original — processing the same suffix after a restore
+// yields the identical sample.
+type reservoirState struct {
+	K     int
+	Seed  uint64
+	N     int64
+	Items [][]float64
+	RNG   []byte
+}
+
+// MarshalBinary serializes the reservoir; the counterpart is
+// UnmarshalReservoir.
+func (r *Reservoir) MarshalBinary() ([]byte, error) {
+	rngState, err := r.pcg.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("baseline: encoding reservoir RNG: %w", err)
+	}
+	items := make([][]float64, len(r.items))
+	for i, p := range r.items {
+		items[i] = p
+	}
+	return gobEncode(reservoirState{K: r.k, Seed: r.seed, N: r.n, Items: items, RNG: rngState})
+}
+
+// UnmarshalReservoir reconstructs a Reservoir from MarshalBinary output.
+func UnmarshalReservoir(data []byte) (*Reservoir, error) {
+	var st reservoirState
+	if err := gobDecode(data, &st); err != nil {
+		return nil, fmt.Errorf("baseline: decoding reservoir: %w", err)
+	}
+	if st.K < 1 || len(st.Items) > st.K {
+		return nil, fmt.Errorf("baseline: corrupt reservoir: k=%d with %d items", st.K, len(st.Items))
+	}
+	r := NewReservoir(st.K, st.Seed)
+	if err := r.pcg.UnmarshalBinary(st.RNG); err != nil {
+		return nil, fmt.Errorf("baseline: decoding reservoir RNG: %w", err)
+	}
+	r.n = st.N
+	r.items = make([]geom.Point, len(st.Items))
+	for i, coords := range st.Items {
+		r.items[i] = geom.Point(coords)
+	}
+	return r, nil
+}
+
+// gobEncode and gobDecode are the shared gob plumbing of this file.
+func gobEncode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("baseline: encoding sketch: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}

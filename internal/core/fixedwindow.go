@@ -95,8 +95,10 @@ func (fw *FixedWindow) Size() int { return fw.order.Len() }
 // AcceptSize returns |Sacc|.
 func (fw *FixedWindow) AcceptSize() int { return fw.numAcc }
 
-// SpaceWords and PeakSpaceWords report sketch size in words.
-func (fw *FixedWindow) SpaceWords() int     { return fw.space.Live() }
+// SpaceWords reports the current sketch size in words.
+func (fw *FixedWindow) SpaceWords() int { return fw.space.Live() }
+
+// PeakSpaceWords reports the peak sketch size in words over the stream.
 func (fw *FixedWindow) PeakSpaceWords() int { return fw.space.Peak() }
 
 // Process feeds the next point with its stamp (arrival index for sequence

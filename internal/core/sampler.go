@@ -83,13 +83,17 @@ func (s *Sampler) R() uint64 { return s.r }
 // Rehashes returns how many times the sample rate was halved.
 func (s *Sampler) Rehashes() int { return s.rehash }
 
-// AcceptSize and RejectSize return |Sacc| and |Srej|.
+// AcceptSize returns |Sacc|, the number of accepted groups.
 func (s *Sampler) AcceptSize() int { return s.numAcc }
+
+// RejectSize returns |Srej|, the number of rejected groups retained.
 func (s *Sampler) RejectSize() int { return len(s.entries) - s.numAcc }
 
-// SpaceWords returns the current number of sketch words; PeakSpaceWords the
-// peak over the stream so far (the paper's pSpace).
-func (s *Sampler) SpaceWords() int     { return s.space.Live() }
+// SpaceWords returns the current number of sketch words.
+func (s *Sampler) SpaceWords() int { return s.space.Live() }
+
+// PeakSpaceWords returns the peak sketch words over the stream so far
+// (the paper's pSpace).
 func (s *Sampler) PeakSpaceWords() int { return s.space.Peak() }
 
 // Process feeds the next stream point to the sampler. It panics on points

@@ -3,10 +3,16 @@ package core
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 
 	"repro/internal/geom"
 )
+
+// ErrNotSerializable is wrapped by MarshalBinary when the sketch has no
+// wire format (currently: sketches built with a custom Space, which is
+// not part of the wire format and could not be re-derived on load).
+var ErrNotSerializable = errors.New("core: not serializable")
 
 // samplerState is the gob wire form of a Sampler. Only dynamic state is
 // stored: the grid, hash function and RNG are all derived deterministically
@@ -36,7 +42,7 @@ type entryState struct {
 // wire format and could not be re-derived on load.
 func (s *Sampler) MarshalBinary() ([]byte, error) {
 	if s.opts.Space != nil {
-		return nil, fmt.Errorf("core: sketches with a custom Space are not serializable")
+		return nil, fmt.Errorf("%w: sketch was built with a custom Space", ErrNotSerializable)
 	}
 	st := samplerState{
 		Opts:    s.opts,

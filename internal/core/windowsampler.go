@@ -126,8 +126,10 @@ func NewWindowSampler(opts Options, win window.Window) (*WindowSampler, error) {
 	}, nil
 }
 
-// Options returns the effective options; Window the window specification.
-func (ws *WindowSampler) Options() Options      { return ws.opts }
+// Options returns the effective options.
+func (ws *WindowSampler) Options() Options { return ws.opts }
+
+// Window returns the window specification.
 func (ws *WindowSampler) Window() window.Window { return ws.win }
 
 // Levels returns the number of Algorithm 2 instances (L+1).
@@ -143,11 +145,13 @@ func (ws *WindowSampler) Processed() int64 { return ws.n }
 
 // OverflowErrors counts split cascades that ran past the top level — the
 // event Algorithm 3 reports as "error", which happens with probability at
-// most 1/m² per step (Lemma 2.8). SplitFailures counts the (similarly rare)
-// event that a level over threshold had no accepted point sampled at the
-// next rate, so nothing could be promoted.
+// most 1/m² per step (Lemma 2.8).
 func (ws *WindowSampler) OverflowErrors() int { return ws.overflowErrors }
-func (ws *WindowSampler) SplitFailures() int  { return ws.splitFailures }
+
+// SplitFailures counts the (similarly rare to OverflowErrors) event that a
+// level over threshold had no accepted point sampled at the next rate, so
+// nothing could be promoted.
+func (ws *WindowSampler) SplitFailures() int { return ws.splitFailures }
 
 // SpaceWords returns the current total sketch words across levels;
 // PeakSpaceWords the peak over the stream (pSpace).

@@ -23,6 +23,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -32,6 +33,13 @@ import (
 	"repro/internal/geom"
 	"repro/pkg/sketch"
 )
+
+// ErrWindowedSharding is returned (or wrapped) when a caller asks to shard
+// a sliding-window sketch: the engine's merged-snapshot queries need
+// sketch.Mergeable, which the window sketches do not implement, and the
+// per-shard arrival indices would disagree with the sequential window
+// anyway. See docs/engine.md ("Limitations") for the full story.
+var ErrWindowedSharding = errors.New("engine: sliding-window sketches cannot be sharded")
 
 // Config configures an Engine.
 type Config struct {
@@ -82,6 +90,10 @@ type Stats struct {
 	SpaceWords int     // live sketch words summed over shards
 	Elapsed    time.Duration
 	Throughput float64 // processed points per second since New
+
+	Epoch          int64 // ingest epoch: bumped by every Process/ProcessBatch/Restore
+	SnapshotHits   int64 // snapshot-cache queries answered without re-merging
+	SnapshotMisses int64 // snapshot-cache rebuilds (drain + O(shards×entries) merge)
 }
 
 type batch struct {
@@ -110,6 +122,17 @@ type Engine struct {
 	enqueued atomic.Int64
 	closed   atomic.Bool
 	start    time.Time
+
+	// epoch counts ingest calls; the snapshot cache is valid only while it
+	// holds still, so queries between ingests skip the O(shards×entries)
+	// re-merge.
+	epoch      atomic.Int64
+	snapMu     sync.Mutex // guards snap/snapEpoch and serializes snapshot queries
+	snap       sketch.Sketch
+	snapEpoch  int64
+	snapValid  bool
+	snapHits   atomic.Int64
+	snapMisses atomic.Int64
 }
 
 // New builds and starts an engine: constructs one sketch per shard and
@@ -148,8 +171,10 @@ func (e *Engine) worker(sh *shard) {
 		if len(b.pts) > 0 {
 			sh.mu.Lock()
 			sh.sk.ProcessBatch(b.pts)
-			sh.mu.Unlock()
+			// done is bumped under mu so that anyone holding the lock
+			// (Checkpoint) sees a counter consistent with the sketch.
 			sh.done.Add(int64(len(b.pts)))
+			sh.mu.Unlock()
 			e.putBuf(b.pts)
 		}
 		if b.ack != nil {
@@ -188,6 +213,11 @@ func (e *Engine) Process(p geom.Point) {
 	if full != nil {
 		sh.ch <- batch{pts: full}
 	}
+	// The epoch is bumped only after the point is enqueued: a concurrent
+	// snapshot that read the pre-bump epoch is stamped too old and merely
+	// rebuilds on the next query. Bumping first would let a snapshot that
+	// missed this point be stamped current — persistent staleness.
+	e.epoch.Add(1)
 }
 
 // ProcessBatch feeds a batch of stream points: the batch is partitioned
@@ -230,6 +260,8 @@ func (e *Engine) ProcessBatch(ps []geom.Point) {
 			e.putBuf(b)
 		}
 	}
+	// Bumped after enqueueing, for the reason documented in Process.
+	e.epoch.Add(1)
 }
 
 func (e *Engine) flushShard(sh *shard) {
@@ -294,23 +326,73 @@ func (e *Engine) Snapshot() (sketch.Sketch, error) {
 	return m, nil
 }
 
-// Query answers from a merged snapshot of all shards.
-func (e *Engine) Query() (sketch.Result, error) {
+// cachedSnapshot returns the merged snapshot for the current ingest
+// epoch, rebuilding it only when ingestion has advanced since the last
+// build. Callers must hold snapMu, and must keep holding it while using
+// the returned sketch: snapshot queries advance the sketch's query RNG,
+// so unsynchronized sharing would race.
+func (e *Engine) cachedSnapshot() (sketch.Sketch, error) {
+	// The epoch is read before the drain inside Snapshot, and producers
+	// bump it only after enqueueing: both orderings err toward stamping
+	// the snapshot too old, so a merge that raced an ingest costs one
+	// extra rebuild on the next query — stale reads never persist.
+	ep := e.epoch.Load()
+	if e.snapValid && e.snapEpoch == ep {
+		e.snapHits.Add(1)
+		return e.snap, nil
+	}
+	e.snapMisses.Add(1)
 	s, err := e.Snapshot()
 	if err != nil {
-		return sketch.Result{}, err
+		return nil, err
 	}
-	return s.Query()
+	e.snap, e.snapEpoch, e.snapValid = s, ep, true
+	return s, nil
 }
+
+// WithSnapshot runs fn on the cached merged snapshot, rebuilding it first
+// only if ingestion has advanced since the last build. The sketch is
+// exclusively owned for the duration of fn (snapshot queries mutate the
+// query RNG); fn must not retain it, and must not call back into
+// WithSnapshot/Query/Checkpoint, which would deadlock. Ingestion may
+// proceed concurrently — it only marks the cache stale.
+func (e *Engine) WithSnapshot(fn func(sketch.Sketch) error) error {
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	s, err := e.cachedSnapshot()
+	if err != nil {
+		return err
+	}
+	return fn(s)
+}
+
+// Query answers from the cached merged snapshot of all shards,
+// re-merging only when ingestion has advanced since the previous query.
+func (e *Engine) Query() (sketch.Result, error) {
+	var res sketch.Result
+	err := e.WithSnapshot(func(s sketch.Sketch) error {
+		var qerr error
+		res, qerr = s.Query()
+		return qerr
+	})
+	return res, err
+}
+
+// Enqueued returns the number of points handed to the engine so far —
+// the lock-free subset of Stats for hot paths.
+func (e *Engine) Enqueued() int64 { return e.enqueued.Load() }
 
 // Stats returns the engine's counters. Processed/Enqueued are atomic;
 // SpaceWords briefly locks each shard.
 func (e *Engine) Stats() Stats {
 	st := Stats{
-		Shards:   len(e.shards),
-		Enqueued: e.enqueued.Load(),
-		PerShard: make([]int64, len(e.shards)),
-		Elapsed:  time.Since(e.start),
+		Shards:         len(e.shards),
+		Enqueued:       e.enqueued.Load(),
+		PerShard:       make([]int64, len(e.shards)),
+		Elapsed:        time.Since(e.start),
+		Epoch:          e.epoch.Load(),
+		SnapshotHits:   e.snapHits.Load(),
+		SnapshotMisses: e.snapMisses.Load(),
 	}
 	for i, sh := range e.shards {
 		n := sh.done.Load()

@@ -70,8 +70,10 @@ func (e *InfiniteEstimator) Estimate() (float64, error) {
 	return float64(acc) * float64(e.s.R()), nil
 }
 
-// SpaceWords reports current sketch words; PeakSpaceWords the peak.
-func (e *InfiniteEstimator) SpaceWords() int     { return e.s.SpaceWords() }
+// SpaceWords reports the current sketch words.
+func (e *InfiniteEstimator) SpaceWords() int { return e.s.SpaceWords() }
+
+// PeakSpaceWords reports the peak sketch words over the stream.
 func (e *InfiniteEstimator) PeakSpaceWords() int { return e.s.PeakSpaceWords() }
 
 // Median runs several independent copies of an estimator and returns the

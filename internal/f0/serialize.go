@@ -1,0 +1,59 @@
+package f0
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// medianState is the gob wire form of a Median estimator: the per-copy
+// samplers carry their own options (including the derived seeds), so only
+// epsilon needs to be stored alongside the copy blobs.
+type medianState struct {
+	Eps    float64
+	Copies [][]byte
+}
+
+// MarshalBinary serializes the estimator stack for checkpointing; the
+// counterpart is UnmarshalMedian. Estimators built over a custom Space are
+// not serializable (see core.Sampler.MarshalBinary).
+func (m *Median) MarshalBinary() ([]byte, error) {
+	st := medianState{Eps: m.copies[0].eps, Copies: make([][]byte, len(m.copies))}
+	for i, c := range m.copies {
+		blob, err := c.s.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("f0: encoding copy %d: %w", i, err)
+		}
+		st.Copies[i] = blob
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("f0: encoding median: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalMedian reconstructs a Median from MarshalBinary output.
+func UnmarshalMedian(data []byte) (*Median, error) {
+	var st medianState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("f0: decoding median: %w", err)
+	}
+	if len(st.Copies) == 0 {
+		return nil, fmt.Errorf("f0: corrupt median: no copies")
+	}
+	if !(st.Eps > 0 && st.Eps <= 1) {
+		return nil, fmt.Errorf("f0: corrupt median: epsilon %g", st.Eps)
+	}
+	m := &Median{copies: make([]*InfiniteEstimator, len(st.Copies))}
+	for i, blob := range st.Copies {
+		s, err := core.UnmarshalSampler(blob)
+		if err != nil {
+			return nil, fmt.Errorf("f0: decoding copy %d: %w", i, err)
+		}
+		m.copies[i] = &InfiniteEstimator{s: s, eps: st.Eps}
+	}
+	return m, nil
+}

@@ -39,8 +39,10 @@ func NewJLTransform(inDim, outDim int, seed uint64) *JLTransform {
 	return &JLTransform{rows: rows, in: inDim, out: outDim}
 }
 
-// InDim and OutDim return the source and target dimensions.
-func (t *JLTransform) InDim() int  { return t.in }
+// InDim returns the source dimension.
+func (t *JLTransform) InDim() int { return t.in }
+
+// OutDim returns the target dimension.
 func (t *JLTransform) OutDim() int { return t.out }
 
 // Apply projects p (dimension InDim) to OutDim dimensions.

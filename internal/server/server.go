@@ -1,0 +1,352 @@
+// Package server exposes a sharded sketch engine over HTTP: the ingest
+// and query daemon behind cmd/sketchd. It turns the in-process
+// engine.Engine into a network service:
+//
+//	POST /ingest      — NDJSON or binary point batches → Engine.ProcessBatch
+//	GET  /query       — answer from the engine's cached merged snapshot
+//	GET  /stats       — engine counters + server counters as JSON
+//	POST /checkpoint  — atomically write the engine state to disk
+//	GET  /healthz     — liveness probe
+//
+// The handler is an http.Handler; the caller owns the http.Server and the
+// engine's lifecycle (cmd/sketchd wires up graceful shutdown and startup
+// -restore). Endpoint and wire-format details live in docs/server.md.
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/f0"
+	"repro/internal/geom"
+	"repro/internal/pointio"
+	"repro/pkg/sketch"
+)
+
+// errUnsupportedK marks a ?k= request against a sketch family without
+// multi-sampling — a client error, not an engine state problem.
+var errUnsupportedK = errors.New("server: sketch does not support k>1 samples")
+
+// Config configures a Server.
+type Config struct {
+	// Engine is the sharded sketch engine to serve. Required; the caller
+	// retains ownership (the server never closes it).
+	Engine *engine.Engine
+
+	// Dim is the point dimension used to parse ingest bodies. Required.
+	Dim int
+
+	// CheckpointPath is where POST /checkpoint writes the engine state.
+	// Empty disables the endpoint.
+	CheckpointPath string
+
+	// MaxBodyBytes caps a single ingest body. Defaults to 64 MiB.
+	MaxBodyBytes int64
+}
+
+// Server is the HTTP front end. All handlers are safe for concurrent use;
+// ingest and query scale independently (queries hit the engine's snapshot
+// cache, so a read-heavy load between ingests costs one merge total).
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	start time.Time
+
+	ingestRequests atomic.Int64
+	pointsIngested atomic.Int64
+}
+
+// New builds a Server around an engine.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("server: Config.Engine is required")
+	}
+	if cfg.Dim < 1 {
+		return nil, fmt.Errorf("server: Config.Dim must be ≥ 1, got %d", cfg.Dim)
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /query", s.handleQuery)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// IngestResponse is the JSON body of a successful POST /ingest.
+type IngestResponse struct {
+	// Ingested is the number of points accepted from this request.
+	Ingested int `json:"ingested"`
+	// TotalPoints is the number of points handed to the engine since start
+	// (or restore), across all clients.
+	TotalPoints int64 `json:"total_points"`
+}
+
+// QueryResponse is the JSON body of a successful GET /query.
+type QueryResponse struct {
+	// Estimate is the sketch's distinct-count estimate; -1 (NoEstimate)
+	// for sample-only sketches.
+	Estimate float64 `json:"estimate"`
+	// Sample is one robust distinct sample; omitted for estimate-only
+	// sketches.
+	Sample []float64 `json:"sample,omitempty"`
+	// Samples holds k samples without replacement when ?k= is given and
+	// the sketch supports multi-sampling.
+	Samples [][]float64 `json:"samples,omitempty"`
+	// SpaceWords is the merged snapshot's live size in words.
+	SpaceWords int `json:"space_words"`
+}
+
+// StatsResponse is the JSON body of GET /stats.
+type StatsResponse struct {
+	// Engine mirrors engine.Stats.
+	Engine engine.Stats `json:"engine"`
+	// UptimeSeconds is the time since the server was built.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// IngestRequests counts POST /ingest calls served.
+	IngestRequests int64 `json:"ingest_requests"`
+	// PointsIngested counts points accepted over HTTP (TotalPoints may be
+	// larger after a -restore, which also restores the engine counters).
+	PointsIngested int64 `json:"points_ingested"`
+}
+
+// CheckpointResponse is the JSON body of a successful POST /checkpoint.
+type CheckpointResponse struct {
+	// Path is the file the checkpoint was written to.
+	Path string `json:"path"`
+	// Bytes is the size of the written checkpoint.
+	Bytes int64 `json:"bytes"`
+	// Points is the number of points captured by the checkpoint.
+	Points int64 `json:"points"`
+}
+
+// errorResponse is the JSON body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.ingestRequests.Add(1)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var (
+		pts []geom.Point
+		err error
+	)
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	switch strings.TrimSpace(ct) {
+	case "application/octet-stream":
+		pts, err = parseBinaryPoints(body, s.cfg.Dim)
+	default:
+		pts, err = parseTextPoints(body, s.cfg.Dim)
+	}
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.cfg.Engine.ProcessBatch(pts)
+	s.pointsIngested.Add(int64(len(pts)))
+	writeJSON(w, http.StatusOK, IngestResponse{
+		Ingested:    len(pts),
+		TotalPoints: s.cfg.Engine.Enqueued(),
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	k := 1
+	if kq := r.URL.Query().Get("k"); kq != "" {
+		v, err := strconv.Atoi(kq)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad k %q", kq))
+			return
+		}
+		k = v
+	}
+	var resp QueryResponse
+	err := s.cfg.Engine.WithSnapshot(func(sk sketch.Sketch) error {
+		res, err := sk.Query()
+		if err != nil {
+			return err
+		}
+		resp.Estimate = res.Estimate
+		resp.Sample = res.Sample
+		resp.SpaceWords = sk.Space()
+		if k > 1 {
+			multi, ok := sk.(interface {
+				QueryK(int) ([]geom.Point, error)
+			})
+			if !ok {
+				return fmt.Errorf("%w (%T)", errUnsupportedK, sk)
+			}
+			samples, err := multi.QueryK(k)
+			if err != nil {
+				return err
+			}
+			resp.Samples = make([][]float64, len(samples))
+			for i, p := range samples {
+				resp.Samples[i] = p
+			}
+		}
+		return nil
+	})
+	switch {
+	case err == nil:
+	case errors.Is(err, errUnsupportedK):
+		writeError(w, http.StatusBadRequest, err)
+		return
+	case errors.Is(err, core.ErrEmptySketch), errors.Is(err, f0.ErrNoEstimate),
+		errors.Is(err, baseline.ErrEmpty):
+		// Nothing to answer from: the engine is empty, or the algorithm's
+		// low-probability failure event emptied the accept set.
+		writeError(w, http.StatusConflict, err)
+		return
+	default:
+		// Anything else — a non-mergeable sketch, a snapshot build
+		// failure — is a server-side problem.
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Engine:         s.cfg.Engine.Stats(),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		IngestRequests: s.ingestRequests.Load(),
+		PointsIngested: s.pointsIngested.Load(),
+	})
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.CheckpointPath == "" {
+		writeError(w, http.StatusNotImplemented,
+			fmt.Errorf("server: checkpointing disabled (no checkpoint path configured)"))
+		return
+	}
+	size, points, err := s.cfg.Engine.CheckpointFile(s.cfg.CheckpointPath)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CheckpointResponse{
+		Path:   s.cfg.CheckpointPath,
+		Bytes:  size,
+		Points: points,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}
+
+// parseTextPoints reads an NDJSON/text ingest body: one point per line,
+// either a JSON array of coordinates ("[1.5, 2]") or whitespace/comma
+// separated coordinates (the pointio CLI format); blank lines and '#'
+// comments are skipped. Unlike pointio.ReadPoints an empty body is fine —
+// an idle client batch ingests zero points.
+func parseTextPoints(r io.Reader, dim int) ([]geom.Point, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	var pts []geom.Point
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var p geom.Point
+		if strings.HasPrefix(text, "[") {
+			var coords []float64
+			if err := json.Unmarshal([]byte(text), &coords); err != nil {
+				return nil, fmt.Errorf("server: line %d: %w", lineNo, err)
+			}
+			p = geom.Point(coords)
+			if len(p) != dim {
+				return nil, fmt.Errorf("server: line %d: %d coordinates, want %d", lineNo, len(p), dim)
+			}
+		} else {
+			var err error
+			p, err = pointio.ParsePoint(text, dim)
+			if err != nil {
+				return nil, fmt.Errorf("server: line %d: %w", lineNo, err)
+			}
+		}
+		for _, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("server: line %d: non-finite coordinate", lineNo)
+			}
+		}
+		pts = append(pts, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// parseBinaryPoints reads a binary ingest body: a packed sequence of
+// little-endian float64 coordinates, dim per point, no framing.
+func parseBinaryPoints(r io.Reader, dim int) ([]geom.Point, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	stride := 8 * dim
+	if len(data)%stride != 0 {
+		return nil, fmt.Errorf("server: binary body of %d bytes is not a multiple of %d (dim %d × 8)",
+			len(data), stride, dim)
+	}
+	pts := make([]geom.Point, 0, len(data)/stride)
+	for off := 0; off < len(data); off += stride {
+		p := make(geom.Point, dim)
+		for i := 0; i < dim; i++ {
+			bits := binary.LittleEndian.Uint64(data[off+8*i:])
+			v := math.Float64frombits(bits)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("server: point %d has non-finite coordinate", off/stride)
+			}
+			p[i] = v
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}

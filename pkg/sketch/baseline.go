@@ -35,8 +35,15 @@ func (k *KMV) Query() (Result, error) { return Result{Estimate: k.s.Estimate()},
 // Space returns the live sketch words.
 func (k *KMV) Space() int { return k.s.SpaceWords() }
 
-// Serialize is unsupported for the baselines.
-func (k *KMV) Serialize() ([]byte, error) { return nil, ErrNotSerializable }
+// Serialize encodes the sketch in the versioned envelope format; restore
+// with Deserialize.
+func (k *KMV) Serialize() ([]byte, error) {
+	payload, err := k.s.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return encodeEnvelope(KindKMV, payload), nil
+}
 
 // Merge unions another KMV of the same size and seed into k.
 func (k *KMV) Merge(other Sketch) error {
@@ -69,8 +76,15 @@ func (f *FM) Query() (Result, error) { return Result{Estimate: f.g.Estimate()}, 
 // Space returns the live sketch words.
 func (f *FM) Space() int { return f.g.SpaceWords() }
 
-// Serialize is unsupported for the baselines.
-func (f *FM) Serialize() ([]byte, error) { return nil, ErrNotSerializable }
+// Serialize encodes the sketch in the versioned envelope format; restore
+// with Deserialize.
+func (f *FM) Serialize() ([]byte, error) {
+	payload, err := f.g.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return encodeEnvelope(KindFM, payload), nil
+}
 
 // Merge unions another FM with the same copy count and seed into f.
 func (f *FM) Merge(other Sketch) error {
@@ -105,8 +119,15 @@ func (h *HyperLogLog) Query() (Result, error) { return Result{Estimate: h.h.Esti
 // Space returns the live sketch words.
 func (h *HyperLogLog) Space() int { return h.h.SpaceWords() }
 
-// Serialize is unsupported for the baselines.
-func (h *HyperLogLog) Serialize() ([]byte, error) { return nil, ErrNotSerializable }
+// Serialize encodes the sketch in the versioned envelope format; restore
+// with Deserialize.
+func (h *HyperLogLog) Serialize() ([]byte, error) {
+	payload, err := h.h.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return encodeEnvelope(KindHyperLogLog, payload), nil
+}
 
 // Merge unions another HLL with the same register count and seed into h.
 func (h *HyperLogLog) Merge(other Sketch) error {
@@ -141,8 +162,15 @@ func (l *LinearCounting) Query() (Result, error) { return Result{Estimate: l.lc.
 // Space returns the live sketch words.
 func (l *LinearCounting) Space() int { return l.lc.SpaceWords() }
 
-// Serialize is unsupported for the baselines.
-func (l *LinearCounting) Serialize() ([]byte, error) { return nil, ErrNotSerializable }
+// Serialize encodes the sketch in the versioned envelope format; restore
+// with Deserialize.
+func (l *LinearCounting) Serialize() ([]byte, error) {
+	payload, err := l.lc.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return encodeEnvelope(KindLinearCounting, payload), nil
+}
 
 // Merge unions another linear counter with the same bitmap size and seed.
 func (l *LinearCounting) Merge(other Sketch) error {
@@ -189,5 +217,13 @@ func (r *Reservoir) Query() (Result, error) {
 // Space returns the live sketch words.
 func (r *Reservoir) Space() int { return r.r.SpaceWords() }
 
-// Serialize is unsupported for the baselines.
-func (r *Reservoir) Serialize() ([]byte, error) { return nil, ErrNotSerializable }
+// Serialize encodes the reservoir — including its RNG state, so restored
+// reservoirs continue the exact random sequence — in the versioned
+// envelope format; restore with Deserialize.
+func (r *Reservoir) Serialize() ([]byte, error) {
+	payload, err := r.r.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return encodeEnvelope(KindReservoir, payload), nil
+}

@@ -46,11 +46,35 @@ func (e *F0) Query() (Result, error) {
 	return Result{Estimate: est}, nil
 }
 
+// RestoreF0 reconstructs a serialized F0 sketch from Serialize output.
+func RestoreF0(data []byte) (*F0, error) {
+	k, payload, err := decodeEnvelope(data)
+	if err != nil {
+		return nil, err
+	}
+	if k != KindF0 {
+		return nil, fmt.Errorf("sketch: serialized sketch is %v, not f0", k)
+	}
+	m, err := f0.UnmarshalMedian(payload)
+	if err != nil {
+		return nil, err
+	}
+	return &F0{m: m}, nil
+}
+
 // Space returns the live sketch words summed over copies.
 func (e *F0) Space() int { return e.m.SpaceWords() }
 
-// Serialize is unsupported for estimator stacks.
-func (e *F0) Serialize() ([]byte, error) { return nil, ErrNotSerializable }
+// Serialize encodes every copy in the versioned envelope format; restore
+// with RestoreF0 or the family-agnostic Deserialize. Estimators over a
+// custom Space return ErrNotSerializable.
+func (e *F0) Serialize() ([]byte, error) {
+	payload, err := e.m.MarshalBinary()
+	if err != nil {
+		return nil, mapCoreSerializeErr(err)
+	}
+	return encodeEnvelope(KindF0, payload), nil
+}
 
 // Merge unions another F0 built with identical options into e, copy by
 // copy; the other sketch is left intact.

@@ -30,9 +30,21 @@ func NewL0(opts core.Options) (*L0, error) {
 // used directly while the wrapper is in use.
 func WrapSampler(s *core.Sampler) *L0 { return &L0{s: s} }
 
-// RestoreL0 reconstructs a serialized L0 sketch.
+// RestoreL0 reconstructs a serialized L0 sketch from Serialize output.
 func RestoreL0(data []byte) (*L0, error) {
-	s, err := core.UnmarshalSampler(data)
+	k, payload, err := decodeEnvelope(data)
+	if err != nil {
+		return nil, err
+	}
+	if k != KindL0 {
+		return nil, fmt.Errorf("sketch: serialized sketch is %v, not l0", k)
+	}
+	return restoreL0Payload(payload)
+}
+
+// restoreL0Payload reconstructs an L0 from its envelope payload.
+func restoreL0Payload(payload []byte) (*L0, error) {
+	s, err := core.UnmarshalSampler(payload)
 	if err != nil {
 		return nil, err
 	}
@@ -69,8 +81,16 @@ func (l *L0) QueryK(k int) ([]geom.Point, error) { return l.s.QueryK(k) }
 // Space returns the live sketch words.
 func (l *L0) Space() int { return l.s.SpaceWords() }
 
-// Serialize encodes the sketch; see core.Sampler.MarshalBinary.
-func (l *L0) Serialize() ([]byte, error) { return l.s.MarshalBinary() }
+// Serialize encodes the sketch in the versioned envelope format; restore
+// with RestoreL0 or the family-agnostic Deserialize. Sketches built over
+// a custom Space return ErrNotSerializable.
+func (l *L0) Serialize() ([]byte, error) {
+	payload, err := l.s.MarshalBinary()
+	if err != nil {
+		return nil, mapCoreSerializeErr(err)
+	}
+	return encodeEnvelope(KindL0, payload), nil
+}
 
 // Merge unions another L0 built with identical Options into l in place;
 // the other sketch is left intact. This is the distributed/sharded

@@ -1,0 +1,162 @@
+package sketch
+
+// Self-describing serialization. Every serializable adapter's Serialize
+// wraps its family payload in a small versioned envelope — a magic tag, a
+// format version, and a Kind byte — so that a checkpoint blob can be
+// restored without knowing in advance which sketch family produced it:
+// Deserialize dispatches on the Kind. internal/engine builds its
+// checkpoint/restore path on exactly this property.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/f0"
+)
+
+// mapCoreSerializeErr translates core's not-serializable sentinel into
+// this package's ErrNotSerializable so callers can rely on the one
+// documented sentinel across every adapter.
+func mapCoreSerializeErr(err error) error {
+	if errors.Is(err, core.ErrNotSerializable) {
+		return fmt.Errorf("%w: %v", ErrNotSerializable, err)
+	}
+	return err
+}
+
+// Kind identifies a serializable sketch family inside the envelope.
+type Kind uint8
+
+// The serializable sketch families. KindInvalid is never written; window
+// sketches have no Kind because they have no wire format.
+const (
+	KindInvalid Kind = iota
+	KindL0
+	KindF0
+	KindKMV
+	KindFM
+	KindHyperLogLog
+	KindLinearCounting
+	KindReservoir
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindL0:
+		return "l0"
+	case KindF0:
+		return "f0"
+	case KindKMV:
+		return "kmv"
+	case KindFM:
+		return "fm"
+	case KindHyperLogLog:
+		return "hll"
+	case KindLinearCounting:
+		return "linearcounting"
+	case KindReservoir:
+		return "reservoir"
+	default:
+		return fmt.Sprintf("sketch.Kind(%d)", int(k))
+	}
+}
+
+// envelopeVersion is the current serialization format version. Decoders
+// accept only this version; bump it on any incompatible payload change.
+const envelopeVersion = 1
+
+// envelopeMagic tags serialized sketches so that foreign blobs fail fast
+// with a clear error instead of a gob decode failure.
+var envelopeMagic = [4]byte{'s', 'k', 'c', 'h'}
+
+// envelopeHeaderLen is magic + version byte + kind byte.
+const envelopeHeaderLen = len(envelopeMagic) + 2
+
+// encodeEnvelope prefixes payload with the envelope header.
+func encodeEnvelope(k Kind, payload []byte) []byte {
+	out := make([]byte, 0, envelopeHeaderLen+len(payload))
+	out = append(out, envelopeMagic[:]...)
+	out = append(out, envelopeVersion, byte(k))
+	return append(out, payload...)
+}
+
+// decodeEnvelope validates the header and returns the kind and payload.
+func decodeEnvelope(data []byte) (Kind, []byte, error) {
+	if len(data) < envelopeHeaderLen {
+		return KindInvalid, nil, fmt.Errorf("sketch: truncated envelope (%d bytes)", len(data))
+	}
+	if string(data[:4]) != string(envelopeMagic[:]) {
+		return KindInvalid, nil, fmt.Errorf("sketch: not a serialized sketch (bad magic)")
+	}
+	if v := data[4]; v != envelopeVersion {
+		return KindInvalid, nil, fmt.Errorf("sketch: unsupported format version %d (want %d)", v, envelopeVersion)
+	}
+	return Kind(data[5]), data[envelopeHeaderLen:], nil
+}
+
+// KindOf peeks at a serialized sketch and reports its family without
+// decoding the payload.
+func KindOf(data []byte) (Kind, error) {
+	k, _, err := decodeEnvelope(data)
+	return k, err
+}
+
+// Deserialize reconstructs any serialized sketch from its Serialize
+// output, dispatching on the envelope's Kind. The restored sketch answers
+// queries from the checkpointed state and keeps ingesting consistently
+// (hash functions and grids are re-derived from the serialized seeds).
+func Deserialize(data []byte) (Sketch, error) {
+	k, payload, err := decodeEnvelope(data)
+	if err != nil {
+		return nil, err
+	}
+	switch k {
+	case KindL0:
+		s, err := restoreL0Payload(payload)
+		if err != nil {
+			return nil, err
+		}
+		return s, nil
+	case KindF0:
+		m, err := f0.UnmarshalMedian(payload)
+		if err != nil {
+			return nil, err
+		}
+		return &F0{m: m}, nil
+	case KindKMV:
+		s, err := baseline.UnmarshalKMV(payload)
+		if err != nil {
+			return nil, err
+		}
+		return &KMV{s: s}, nil
+	case KindFM:
+		g, err := baseline.UnmarshalFMGroup(payload)
+		if err != nil {
+			return nil, err
+		}
+		return &FM{g: g}, nil
+	case KindHyperLogLog:
+		h, err := baseline.UnmarshalHyperLogLog(payload)
+		if err != nil {
+			return nil, err
+		}
+		return &HyperLogLog{h: h}, nil
+	case KindLinearCounting:
+		lc, err := baseline.UnmarshalLinearCounting(payload)
+		if err != nil {
+			return nil, err
+		}
+		return &LinearCounting{lc: lc}, nil
+	case KindReservoir:
+		r, err := baseline.UnmarshalReservoir(payload)
+		if err != nil {
+			return nil, err
+		}
+		return &Reservoir{r: r}, nil
+	default:
+		return nil, fmt.Errorf("sketch: unknown sketch kind %d", int(k))
+	}
+}

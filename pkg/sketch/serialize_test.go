@@ -1,0 +1,182 @@
+package sketch
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/window"
+)
+
+// roundTrip serializes s and restores it via the family-agnostic
+// Deserialize, checking the envelope self-describes as wantKind.
+func roundTrip(t *testing.T, s Sketch, wantKind Kind) Sketch {
+	t.Helper()
+	blob, err := s.Serialize()
+	if err != nil {
+		t.Fatalf("%v serialize: %v", wantKind, err)
+	}
+	k, err := KindOf(blob)
+	if err != nil {
+		t.Fatalf("%v kind: %v", wantKind, err)
+	}
+	if k != wantKind {
+		t.Fatalf("envelope kind %v, want %v", k, wantKind)
+	}
+	restored, err := Deserialize(blob)
+	if err != nil {
+		t.Fatalf("%v deserialize: %v", wantKind, err)
+	}
+	return restored
+}
+
+// estimateOf queries s and returns the estimate, failing the test on error.
+func estimateOf(t *testing.T, s Sketch) float64 {
+	t.Helper()
+	res, err := s.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Estimate
+}
+
+// TestSerializeRoundTripAllAdapters checkpoints every serializable adapter
+// mid-stream, restores it, and requires (a) the restored estimate to equal
+// the original's exactly and (b) processing the identical stream suffix to
+// keep original and restored sketches in lockstep.
+func TestSerializeRoundTripAllAdapters(t *testing.T) {
+	pts := testStream(150, 4, 8)
+	half := len(pts) / 2
+	opts := testOpts(len(pts))
+
+	cases := []struct {
+		name string
+		kind Kind
+		mk   func(t *testing.T) Sketch
+	}{
+		{"L0", KindL0, func(t *testing.T) Sketch {
+			s, err := NewL0(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"F0", KindF0, func(t *testing.T) Sketch {
+			s, err := NewF0(opts, 0.25, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"KMV", KindKMV, func(t *testing.T) Sketch { return NewKMV(64, 7) }},
+		{"FM", KindFM, func(t *testing.T) Sketch { return NewFM(16, 7) }},
+		{"HyperLogLog", KindHyperLogLog, func(t *testing.T) Sketch { return NewHyperLogLog(10, 7) }},
+		{"LinearCounting", KindLinearCounting, func(t *testing.T) Sketch { return NewLinearCounting(1<<12, 7) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.mk(t)
+			s.ProcessBatch(pts[:half])
+			restored := roundTrip(t, s, tc.kind)
+			if got, want := estimateOf(t, restored), estimateOf(t, s); got != want {
+				t.Fatalf("restored estimate %g != original %g", got, want)
+			}
+			// The restored sketch must keep ingesting identically: hash
+			// functions and grids are re-derived from the serialized seeds.
+			s.ProcessBatch(pts[half:])
+			restored.ProcessBatch(pts[half:])
+			if got, want := estimateOf(t, restored), estimateOf(t, s); got != want {
+				t.Fatalf("post-restore ingestion diverged: %g != %g", got, want)
+			}
+			if got, want := restored.Space(), s.Space(); got != want {
+				t.Fatalf("post-restore space %d != %d", got, want)
+			}
+		})
+	}
+}
+
+// TestSerializeRoundTripReservoir checks the reservoir separately: its
+// query draws no randomness, but future ingestion does, so the serialized
+// RNG state must make original and restored reservoirs evolve identically.
+func TestSerializeRoundTripReservoir(t *testing.T) {
+	pts := testStream(200, 2, 9)
+	half := len(pts) / 2
+	r := NewReservoir(16, 21)
+	r.ProcessBatch(pts[:half])
+	restored := roundTrip(t, r, KindReservoir).(*Reservoir)
+	r.ProcessBatch(pts[half:])
+	restored.ProcessBatch(pts[half:])
+	a, b := r.Items(), restored.Items()
+	if len(a) != len(b) {
+		t.Fatalf("reservoir sizes diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("item %d diverged after restore: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSerializeWindowAndCustomSpaceUnsupported pins down which sketches
+// refuse to serialize, and with which error.
+func TestSerializeWindowAndCustomSpaceUnsupported(t *testing.T) {
+	opts := testOpts(64)
+	win := window.Window{Kind: window.Sequence, W: 32}
+	wl, err := NewWindowL0(opts, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wl.Serialize(); !errors.Is(err, ErrNotSerializable) {
+		t.Fatalf("WindowL0 serialize error = %v, want ErrNotSerializable", err)
+	}
+	wf, err := NewWindowF0(core.Options{Alpha: 1, Dim: 2, Seed: 5, Kappa: 1, StreamBound: 16}, win, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wf.Serialize(); !errors.Is(err, ErrNotSerializable) {
+		t.Fatalf("WindowF0 serialize error = %v, want ErrNotSerializable", err)
+	}
+
+	// A custom Space is not part of the wire format: Serialize must
+	// surface this package's sentinel, not a bare core error.
+	custom := opts
+	custom.Space = core.NewEuclideanSpace(2, 0.5, 1, 99)
+	cl, err := NewL0(custom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Serialize(); !errors.Is(err, ErrNotSerializable) {
+		t.Fatalf("custom-Space L0 serialize error = %v, want ErrNotSerializable", err)
+	}
+}
+
+// TestDeserializeRejectsGarbage exercises the envelope's failure modes.
+func TestDeserializeRejectsGarbage(t *testing.T) {
+	if _, err := Deserialize(nil); err == nil {
+		t.Fatal("Deserialize(nil) succeeded")
+	}
+	if _, err := Deserialize([]byte("not a sketch blob")); err == nil {
+		t.Fatal("Deserialize of foreign bytes succeeded")
+	}
+	l, err := NewL0(testOpts(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Process(geom.Point{1, 2})
+	blob, err := l.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), blob...)
+	bad[4] = 99 // unsupported version
+	if _, err := Deserialize(bad); err == nil {
+		t.Fatal("Deserialize accepted an unsupported version")
+	}
+	if _, err := RestoreF0(blob); err == nil {
+		t.Fatal("RestoreF0 accepted an L0 blob")
+	}
+	if _, err := RestoreL0(blob[:len(blob)-4]); err == nil {
+		t.Fatal("RestoreL0 accepted a truncated payload")
+	}
+}

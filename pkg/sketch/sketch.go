@@ -27,7 +27,8 @@ import (
 const NoEstimate = -1
 
 // ErrNotSerializable is returned by Serialize on sketches with no wire
-// format (window sketches, estimator stacks, sketches over custom Spaces).
+// format (window sketches, whose expiry structure is not serialized, and
+// sketches over custom Spaces).
 var ErrNotSerializable = errors.New("sketch: not serializable")
 
 // ErrIncompatible is returned by Merge when the other sketch is of a
@@ -67,7 +68,8 @@ type Sketch interface {
 	// paper's word-count accounting.
 	Space() int
 
-	// Serialize encodes the sketch for checkpointing or shipping;
+	// Serialize encodes the sketch for checkpointing or shipping, in the
+	// self-describing versioned envelope decoded by Deserialize;
 	// ErrNotSerializable when the sketch has no wire format.
 	Serialize() ([]byte, error)
 }
