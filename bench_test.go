@@ -20,11 +20,16 @@
 package repro
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"repro/internal/baseline"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine"
@@ -33,6 +38,8 @@ import (
 	"repro/internal/grid"
 	"repro/internal/hash"
 	"repro/internal/metrics"
+	"repro/internal/pointio"
+	"repro/internal/server"
 	"repro/internal/window"
 )
 
@@ -323,6 +330,68 @@ func BenchmarkEngineProcess(b *testing.B) {
 			eng.Close()
 		})
 	}
+}
+
+// BenchmarkGatewayQuery measures one federated scatter-gather round over
+// an in-process 3-peer cluster: fetch every peer's serialized snapshot
+// over HTTP, deserialize, merge, query. This is the cluster tier's
+// query-path cost (the peers' snapshot caches are warm, so the fan-out
+// itself — transport + decode + fold — dominates).
+func BenchmarkGatewayQuery(b *testing.B) {
+	opts := core.Options{Alpha: 1, Dim: 2, Seed: 9, StreamBound: 1 << 20, Kappa: 128, HighDim: true}
+	rng := rand.New(rand.NewPCG(7, 11))
+	pts := make([]geom.Point, 1<<14)
+	for i := range pts {
+		pts[i] = geom.Point{rng.Float64() * 1024, rng.Float64() * 1024}
+	}
+	router, err := engine.NewRouterFromOptions(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const peers = 3
+	urls := make([]string, peers)
+	for i := 0; i < peers; i++ {
+		eng, err := engine.NewSamplerEngine(opts, engine.Config{Shards: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := server.New(server.Config{Engine: eng, Dim: opts.Dim})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		urls[i] = ts.URL
+		b.Cleanup(func() { ts.Close(); eng.Close() })
+	}
+	gw, err := cluster.New(cluster.Config{Peers: urls, Router: router, Dim: opts.Dim})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gwts := httptest.NewServer(gw)
+	b.Cleanup(gwts.Close)
+	resp, err := http.Post(gwts.URL+"/ingest", "application/octet-stream",
+		bytes.NewReader(pointio.AppendBinaryBatch(nil, pts)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("seed ingest status %d", resp.StatusCode)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Get(gwts.URL + "/query")
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("query status %d", resp.StatusCode)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
 }
 
 // BenchmarkProcessBatch measures the batched single-sampler ingestion

@@ -12,9 +12,14 @@
 //
 //	POST /ingest      point batches (NDJSON lines or packed float64s)
 //	GET  /query       robust sample + distinct estimate (?k= for k samples)
+//	GET  /sketch      serialized merged snapshot (cluster federation hook)
 //	GET  /stats       engine + server counters
 //	POST /checkpoint  atomically persist engine state to -checkpoint
 //	GET  /healthz     liveness
+//
+// With -checkpoint-every the daemon also checkpoints continuously in the
+// background (atomic writes, safe under live traffic), bounding data loss
+// on a crash to one interval.
 //
 // On SIGINT/SIGTERM the daemon stops accepting requests, drains the
 // engine, and — when -save-on-exit is set — writes a final checkpoint, so
@@ -32,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -42,23 +48,24 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":7070", "listen address")
-		kind    = flag.String("sketch", "l0", "sketch family per shard: l0 (robust sampler) or f0 (robust distinct-count estimator)")
-		alpha   = flag.Float64("alpha", 1, "distance threshold α: points within α are near-duplicates")
-		dim     = flag.Int("dim", 0, "point dimension (required)")
-		m       = flag.Int("m", 1<<20, "stream-length bound m sizing thresholds and hash independence")
-		kappa   = flag.Int("kappa", 0, "accept-set threshold constant κ0 (0 = default)")
-		k       = flag.Int("k", 1, "samples without replacement to support per query (l0 only)")
-		eps     = flag.Float64("eps", 0.25, "target accuracy (1±ε) of the f0 estimator")
-		copies  = flag.Int("copies", 9, "median-boosting copies of the f0 estimator")
-		seed    = flag.Uint64("seed", 1, "random seed (must match across checkpoint/restore)")
-		shards  = flag.Int("shards", 0, "worker shards (0 = GOMAXPROCS; must match across checkpoint/restore)")
-		batch   = flag.Int("batch", 256, "points per worker batch")
-		queue   = flag.Int("queue", 4, "batches buffered per shard before producers block")
-		ckpt    = flag.String("checkpoint", "", "checkpoint file written by POST /checkpoint (empty disables)")
-		restore = flag.Bool("restore", false, "restore engine state from -checkpoint at startup")
-		saveEnd = flag.Bool("save-on-exit", false, "write a final checkpoint to -checkpoint on graceful shutdown")
-		windowW = flag.Int64("window", 0, "unsupported: sliding windows cannot be sharded (see docs/engine.md)")
+		addr      = flag.String("addr", ":7070", "listen address")
+		kind      = flag.String("sketch", "l0", "sketch family per shard: l0 (robust sampler) or f0 (robust distinct-count estimator)")
+		alpha     = flag.Float64("alpha", 1, "distance threshold α: points within α are near-duplicates")
+		dim       = flag.Int("dim", 0, "point dimension (required)")
+		m         = flag.Int("m", 1<<20, "stream-length bound m sizing thresholds and hash independence")
+		kappa     = flag.Int("kappa", 0, "accept-set threshold constant κ0 (0 = default)")
+		k         = flag.Int("k", 1, "samples without replacement to support per query (l0 only)")
+		eps       = flag.Float64("eps", 0.25, "target accuracy (1±ε) of the f0 estimator")
+		copies    = flag.Int("copies", 9, "median-boosting copies of the f0 estimator")
+		seed      = flag.Uint64("seed", 1, "random seed (must match across checkpoint/restore)")
+		shards    = flag.Int("shards", 0, "worker shards (0 = GOMAXPROCS; must match across checkpoint/restore)")
+		batch     = flag.Int("batch", 256, "points per worker batch")
+		queue     = flag.Int("queue", 4, "batches buffered per shard before producers block")
+		ckpt      = flag.String("checkpoint", "", "checkpoint file written by POST /checkpoint (empty disables)")
+		restore   = flag.Bool("restore", false, "restore engine state from -checkpoint at startup")
+		saveEnd   = flag.Bool("save-on-exit", false, "write a final checkpoint to -checkpoint on graceful shutdown")
+		ckptEvery = flag.Duration("checkpoint-every", 0, "write a background checkpoint to -checkpoint at this interval (0 disables)")
+		windowW   = flag.Int64("window", 0, "unsupported: sliding windows cannot be sharded (see docs/engine.md)")
 	)
 	flag.Parse()
 
@@ -69,8 +76,11 @@ func main() {
 	if *dim < 1 {
 		fatal(fmt.Errorf("-dim is required"))
 	}
-	if (*restore || *saveEnd) && *ckpt == "" {
-		fatal(fmt.Errorf("-restore and -save-on-exit need -checkpoint"))
+	if *ckptEvery < 0 {
+		fatal(fmt.Errorf("-checkpoint-every must be positive, got %v", *ckptEvery))
+	}
+	if (*restore || *saveEnd || *ckptEvery > 0) && *ckpt == "" {
+		fatal(fmt.Errorf("-restore, -save-on-exit, and -checkpoint-every need -checkpoint"))
 	}
 
 	opts := core.Options{
@@ -106,7 +116,7 @@ func main() {
 		log.Printf("restored %d points from %s", eng.Stats().Enqueued, *ckpt)
 	}
 
-	srv, err := server.New(server.Config{Engine: eng, Dim: *dim, CheckpointPath: *ckpt})
+	srv, err := server.New(server.Config{Engine: eng, Dim: *dim, CheckpointPath: *ckpt, Restored: *restore})
 	if err != nil {
 		fatal(err)
 	}
@@ -114,6 +124,34 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Background periodic checkpointing: CheckpointFile is atomic (temp +
+	// fsync + rename) and safe under concurrent ingest, so the ticker can
+	// fire while traffic flows. The goroutine exits on shutdown and is
+	// awaited before the final drain, so it never races Close.
+	var ckptWG sync.WaitGroup
+	if *ckptEvery > 0 {
+		ckptWG.Add(1)
+		go func() {
+			defer ckptWG.Done()
+			t := time.NewTicker(*ckptEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					size, points, err := eng.CheckpointFile(*ckpt)
+					if err != nil {
+						log.Printf("sketchd: periodic checkpoint: %v", err)
+						continue
+					}
+					log.Printf("sketchd: periodic checkpoint: %d points, %d bytes to %s", points, size, *ckpt)
+				}
+			}
+		}()
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("sketchd: %s engine, %d shards, listening on %s", *kind, eng.Stats().Shards, *addr)
@@ -140,6 +178,7 @@ func main() {
 		log.Printf("sketchd: shutdown: %v; skipping final drain/checkpoint", err)
 		os.Exit(1)
 	}
+	ckptWG.Wait()
 	eng.Drain()
 	if *saveEnd {
 		size, points, err := eng.CheckpointFile(*ckpt)

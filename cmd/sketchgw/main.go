@@ -1,0 +1,127 @@
+// Command sketchgw is the cluster gateway: it federates a fleet of
+// sketchd daemons behind one endpoint with the same HTTP API, so clients
+// are oblivious to whether they talk to one node or a cluster. Ingest
+// batches are routed so each point lands on exactly one peer (by the same
+// routing grid the peers shard with internally); queries scatter to all
+// live peers, gather their serialized sketches, and answer from the
+// merged union.
+//
+//	sketchgw -dim 2 -alpha 0.5 -peers http://a:7070,http://b:7070,http://c:7070
+//	sketchgw -dim 2 -alpha 0.5 -peers ... -partial fail -timeout 2s
+//
+// Endpoints (full reference in docs/cluster.md):
+//
+//	POST /ingest   point batches (NDJSON or packed binary) → routed to peers
+//	GET  /query    federated sample + estimate; "partial": true on degraded answers
+//	GET  /sketch   the federated merged sketch (so gateways stack into trees)
+//	GET  /stats    gateway counters + per-peer health
+//	GET  /healthz  ok / degraded (k/n peers up) / 503 with no live peers
+//
+// -alpha, -dim, and -seed must match the peers' flags: the routing grid
+// is derived from them, and peer sketches merge only when built with
+// identical options.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7071", "listen address")
+		peers    = flag.String("peers", "", "comma-separated sketchd base URLs (required)")
+		alpha    = flag.Float64("alpha", 1, "distance threshold α — must match the peers")
+		dim      = flag.Int("dim", 0, "point dimension (required) — must match the peers")
+		seed     = flag.Uint64("seed", 1, "random seed — must match the peers")
+		partial  = flag.String("partial", "degrade", "partial-failure policy: degrade (answer from live peers, partial=true) or fail (502)")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-attempt timeout of each peer request")
+		retries  = flag.Int("retries", 2, "extra attempts per failed peer request")
+		backoff  = flag.Duration("backoff", 50*time.Millisecond, "base delay between retry attempts (linear)")
+		downN    = flag.Int("down-after", 3, "consecutive failures before a peer's circuit breaker opens")
+		cooldown = flag.Duration("down-cooldown", 2*time.Second, "how long an open breaker skips a peer")
+	)
+	flag.Parse()
+
+	if *dim < 1 {
+		fatal(fmt.Errorf("-dim is required"))
+	}
+	peerList := strings.Split(*peers, ",")
+	var urls []string
+	for _, p := range peerList {
+		if p = strings.TrimSpace(p); p != "" {
+			urls = append(urls, p)
+		}
+	}
+	if len(urls) == 0 {
+		fatal(fmt.Errorf("-peers is required (comma-separated base URLs)"))
+	}
+	policy, err := cluster.ParsePolicy(*partial)
+	if err != nil {
+		fatal(err)
+	}
+	router, err := engine.NewRouterFromOptions(core.Options{Alpha: *alpha, Dim: *dim, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	if *retries == 0 {
+		*retries = cluster.NoRetries // the flag's 0 means none, not "default"
+	}
+	gw, err := cluster.New(cluster.Config{
+		Peers:          urls,
+		Router:         router,
+		Dim:            *dim,
+		Partial:        policy,
+		RequestTimeout: *timeout,
+		Retries:        *retries,
+		RetryBackoff:   *backoff,
+		DownAfter:      *downN,
+		DownCooldown:   *cooldown,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: gw}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("sketchgw: %d peers, policy %s, listening on %s", len(urls), policy, *addr)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("sketchgw: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("sketchgw: shutdown: %v", err)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sketchgw:", err)
+	os.Exit(1)
+}

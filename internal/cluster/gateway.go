@@ -1,0 +1,615 @@
+// Package cluster federates a fleet of sketchd daemons behind one
+// endpoint: the gateway behind cmd/sketchgw. N peers, each running a
+// sharded sketch engine over identical options and seed, are treated as
+// one logical sketch — the distributed extension of the same mergeability
+// property internal/engine uses to shard within a process:
+//
+//   - Routed ingest: POST /ingest batches are partitioned by the hash of
+//     each point's routing-grid cell (engine.Router — the same grid the
+//     peers shard by), so every point lands on exactly one peer and a
+//     near-duplicate group lands together with high probability.
+//   - Scatter-gather query: GET /query (and GET /sketch) fetches the
+//     serialized merged snapshot of every live peer in parallel,
+//     sketch.Deserializes them, and folds them with Mergeable.Merge;
+//     boundary groups are repaired by the merge's α-ball coalescing,
+//     exactly as between shards.
+//   - Partial failure is policy: PartialFail turns any unreachable peer
+//     into a 502, PartialDegrade (the default) answers from the live
+//     subset with "partial": true in the response.
+//
+// The gateway exposes the same HTTP API as a single daemon (/ingest,
+// /query, /stats, /healthz — and /sketch, so gateways stack into trees),
+// so clients are oblivious to whether they talk to one node or a cluster.
+// Topology, failure semantics, and routing are documented in
+// docs/cluster.md.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/hash"
+	"repro/internal/pointio"
+	"repro/internal/server"
+	"repro/pkg/sketch"
+)
+
+// Policy selects how a query behaves when some peers are unreachable.
+type Policy string
+
+// The partial-failure policies. PartialDegrade answers from the live
+// peers and marks the response partial; PartialFail refuses with 502.
+const (
+	PartialDegrade Policy = "degrade"
+	PartialFail    Policy = "fail"
+)
+
+// ParsePolicy parses a -partial flag value.
+func ParsePolicy(s string) (Policy, error) {
+	switch Policy(s) {
+	case PartialDegrade, PartialFail:
+		return Policy(s), nil
+	default:
+		return "", fmt.Errorf("cluster: unknown partial-failure policy %q (want %q or %q)",
+			s, PartialDegrade, PartialFail)
+	}
+}
+
+// NoRetries is the Config.Retries value that disables retries (the zero
+// value selects the default instead).
+const NoRetries = -1
+
+// errNoPeers means every peer failed: there is no live subset to degrade
+// to, so the query fails under either policy.
+var errNoPeers = errors.New("cluster: no live peers")
+
+// errPartialRefused marks a partial fan-out refused under PartialFail.
+var errPartialRefused = errors.New("cluster: partial result refused")
+
+// federateStatus maps a federate error to its HTTP status: upstream
+// failures (unreachable peers) are 502, anything else — a non-mergeable
+// family, a merge rejected by mismatched peer options — is a gateway
+// configuration or logic problem and answers 500, mirroring the
+// single-daemon classification.
+func federateStatus(err error) int {
+	if errors.Is(err, errNoPeers) || errors.Is(err, errPartialRefused) {
+		return http.StatusBadGateway
+	}
+	return http.StatusInternalServerError
+}
+
+// Config configures a Gateway.
+type Config struct {
+	// Peers are the base URLs of the sketchd daemons, e.g.
+	// "http://10.0.0.1:7070". Required, at least one. Order matters: it is
+	// the routing order, and must be stable across gateway restarts or
+	// routed groups change peers (harmless for correctness of the union,
+	// but splits groups across peers until they coalesce at merge time).
+	Peers []string
+
+	// Router maps points to peers (reduced mod len(Peers)); points of one
+	// near-duplicate group should route together. Build it with
+	// engine.NewRouterFromOptions over the same options the peers run.
+	// Required.
+	Router engine.Router
+
+	// Dim is the point dimension used to parse ingest bodies. Required.
+	Dim int
+
+	// Partial is the partial-failure policy for queries. Defaults to
+	// PartialDegrade.
+	Partial Policy
+
+	// RequestTimeout bounds each attempt of each peer request. Defaults
+	// to 5s.
+	RequestTimeout time.Duration
+
+	// Retries is the number of extra attempts per peer request after the
+	// first. Only failures that might be transient retry: network errors
+	// and 502–504 responses; any other status is a deterministic answer
+	// and fails immediately. Defaults to 2; use NoRetries to disable.
+	Retries int
+
+	// RetryBackoff is the base delay between attempts (linear: attempt n
+	// waits n×backoff). Defaults to 50ms.
+	RetryBackoff time.Duration
+
+	// DownAfter is the number of consecutive failed requests after which a
+	// peer's circuit breaker opens. Defaults to 3.
+	DownAfter int
+
+	// DownCooldown is how long an open breaker skips the peer before the
+	// next request probes it again. Defaults to 2s.
+	DownCooldown time.Duration
+
+	// MaxBodyBytes caps a single ingest body. Defaults to 64 MiB.
+	MaxBodyBytes int64
+
+	// Client is the HTTP client for peer requests. Defaults to a fresh
+	// http.Client (per-attempt timeouts come from RequestTimeout).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Partial == "" {
+		c.Partial = PartialDegrade
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = 3
+	}
+	if c.DownCooldown <= 0 {
+		c.DownCooldown = 2 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c
+}
+
+// Gateway is the scatter-gather HTTP front end over a peer fleet. All
+// handlers are safe for concurrent use.
+type Gateway struct {
+	cfg    Config
+	peers  []*peer
+	mux    *http.ServeMux
+	client *http.Client
+	start  time.Time
+
+	ingestRequests atomic.Int64
+	pointsRouted   atomic.Int64
+	queries        atomic.Int64
+	partialQueries atomic.Int64
+}
+
+// New builds a Gateway over the configured peers.
+func New(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: Config.Peers is required")
+	}
+	if cfg.Router == nil {
+		return nil, fmt.Errorf("cluster: Config.Router is required (engine.NewRouterFromOptions)")
+	}
+	if cfg.Dim < 1 {
+		return nil, fmt.Errorf("cluster: Config.Dim must be ≥ 1, got %d", cfg.Dim)
+	}
+	g := &Gateway{cfg: cfg, mux: http.NewServeMux(), client: cfg.Client, start: time.Now()}
+	g.peers = make([]*peer, len(cfg.Peers))
+	for i, raw := range cfg.Peers {
+		u, err := url.Parse(raw)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: peer %d: %q is not an absolute URL", i, raw)
+		}
+		g.peers[i] = &peer{url: strings.TrimRight(raw, "/")}
+	}
+	g.mux.HandleFunc("POST /ingest", g.handleIngest)
+	g.mux.HandleFunc("GET /query", g.handleQuery)
+	g.mux.HandleFunc("GET /sketch", g.handleSketch)
+	g.mux.HandleFunc("GET /stats", g.handleStats)
+	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
+	return g, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) { g.mux.ServeHTTP(w, r) }
+
+// QueryResponse is the JSON body of a successful GET /query: the single-
+// daemon response plus federation metadata. A non-partial response is
+// indistinguishable from one daemon's answer apart from the extra fields.
+type QueryResponse struct {
+	server.QueryResponse
+
+	// Partial is true when the answer was folded from a strict subset of
+	// the peers (PartialDegrade only; PartialFail errors instead).
+	Partial bool `json:"partial"`
+	// PeersTotal is the configured fleet size.
+	PeersTotal int `json:"peers_total"`
+	// PeersOK is the number of peers whose sketch contributed.
+	PeersOK int `json:"peers_ok"`
+	// FailedPeers lists the base URLs that were down or failed.
+	FailedPeers []string `json:"failed_peers,omitempty"`
+	// DegradedPeers lists peers (themselves gateways) that contributed a
+	// fold they flagged as partial — their own failures are hidden behind
+	// them, so the answer is partial even though they responded.
+	DegradedPeers []string `json:"degraded_peers,omitempty"`
+}
+
+// PeerStatus is one peer's health in GET /stats.
+type PeerStatus struct {
+	// URL is the peer's base URL.
+	URL string `json:"url"`
+	// Up is true only while the peer's circuit breaker is closed; a
+	// tripped peer stays down until a successful probe.
+	Up bool `json:"up"`
+	// Requests counts requests issued to the peer (retries count once).
+	Requests int64 `json:"requests"`
+	// Failures counts requests that failed after all retries.
+	Failures int64 `json:"failures"`
+	// ConsecutiveFailures is the current failure streak.
+	ConsecutiveFailures int64 `json:"consecutive_failures"`
+	// LastError is the most recent failure, if any.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// StatsResponse is the JSON body of GET /stats: gateway-local counters
+// and per-peer health. It deliberately does not scatter to the peers —
+// hit a peer's /stats directly for engine internals.
+type StatsResponse struct {
+	// Peers is the per-peer health and traffic table.
+	Peers []PeerStatus `json:"peers"`
+	// PeersUp counts peers whose breaker is currently closed.
+	PeersUp int `json:"peers_up"`
+	// PartialPolicy is the configured partial-failure policy.
+	PartialPolicy Policy `json:"partial_policy"`
+	// StartedAt is when the gateway was built (RFC 3339).
+	StartedAt string `json:"started_at"`
+	// UptimeSeconds is the time since the gateway was built.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// IngestRequests counts POST /ingest calls served.
+	IngestRequests int64 `json:"ingest_requests"`
+	// PointsRouted counts points forwarded to peers.
+	PointsRouted int64 `json:"points_routed"`
+	// Queries counts GET /query and GET /sketch fan-outs.
+	Queries int64 `json:"queries"`
+	// PartialQueries counts fan-outs answered from a strict peer subset.
+	PartialQueries int64 `json:"partial_queries"`
+}
+
+// peerIndex maps a point to its home peer. The routing-cell hash is
+// bit-mixed before the modular reduction: the peers reduce the very same
+// cell hash mod their internal shard count, and without the mix a peer
+// that only ever receives hashes ≡ i (mod peers) would feed only the
+// shards with indices in that residue class whenever gcd(peers, shards)
+// > 1, idling the rest. Mixing decorrelates the two reductions while
+// still sending every point of one routing cell — hence one
+// near-duplicate group, with high probability — to one peer.
+func (g *Gateway) peerIndex(p geom.Point) int {
+	return int(hash.Mix64(g.cfg.Router.Route(p)) % uint64(len(g.peers)))
+}
+
+// forwardChunkBytes caps one forwarded packed-binary sub-batch body —
+// half the peers' default 64 MiB MaxBodyBytes, so an accepted gateway
+// ingest can always be forwarded regardless of how much the text→binary
+// re-encoding expanded it.
+const forwardChunkBytes = 32 << 20
+
+// partialHeader marks a /sketch export folded from a strict peer subset;
+// stacked gateways propagate it upward instead of laundering a degraded
+// fold into a seemingly complete one.
+const partialHeader = "X-Sketch-Partial"
+
+// fanout summarizes one scatter-gather round.
+type fanout struct {
+	ok       int
+	failed   []string // base URLs that were down or failed
+	degraded []string // base URLs that answered but flagged their own fold partial
+}
+
+func (f fanout) partial() bool { return len(f.failed)+len(f.degraded) > 0 }
+
+// federate fetches every live peer's serialized snapshot in parallel,
+// deserializes, and folds them in peer order into one merged sketch.
+// Peers with an open breaker are skipped and counted as failed; peers
+// that are themselves gateways serving a partial fold (partialHeader)
+// make the result partial too. The error is non-nil when no peer
+// contributed, or when the fold is partial under PartialFail.
+func (g *Gateway) federate(ctx context.Context) (sketch.Sketch, fanout, error) {
+	g.queries.Add(1)
+	sketches := make([]sketch.Sketch, len(g.peers))
+	upstreamPartial := make([]bool, len(g.peers))
+	errs := make([]error, len(g.peers))
+	now := time.Now()
+	var wg sync.WaitGroup
+	for i, p := range g.peers {
+		if !p.admit(now, g.cfg.DownCooldown) {
+			errs[i] = fmt.Errorf("cluster: peer %s is down (circuit open)", p.url)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, p *peer) {
+			defer wg.Done()
+			blob, hdr, err := g.do(ctx, p, http.MethodGet, "/sketch", "", nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sk, err := sketch.Deserialize(blob)
+			if err != nil {
+				errs[i] = fmt.Errorf("cluster: peer %s sketch: %w", p.url, err)
+				return
+			}
+			sketches[i] = sk
+			upstreamPartial[i] = hdr.Get(partialHeader) == "true"
+		}(i, p)
+	}
+	wg.Wait()
+
+	var (
+		fo     fanout
+		merged sketch.Mergeable
+	)
+	for i, sk := range sketches {
+		if sk == nil {
+			fo.failed = append(fo.failed, g.peers[i].url)
+			continue
+		}
+		fo.ok++
+		if upstreamPartial[i] {
+			fo.degraded = append(fo.degraded, g.peers[i].url)
+		}
+		if merged == nil {
+			m, ok := sk.(sketch.Mergeable)
+			if !ok {
+				return nil, fo, fmt.Errorf("cluster: %T is not mergeable; federation needs sketch.Mergeable", sk)
+			}
+			merged = m
+			continue
+		}
+		if err := merged.Merge(sk); err != nil {
+			return nil, fo, fmt.Errorf("cluster: merging peer %s: %w", g.peers[i].url, err)
+		}
+	}
+	if merged == nil {
+		return nil, fo, fmt.Errorf("%w: all %d peers failed (first: %v)", errNoPeers, len(g.peers), errs[firstError(errs)])
+	}
+	if fo.partial() {
+		if g.cfg.Partial == PartialFail {
+			return nil, fo, fmt.Errorf("%w under policy %q: %d unreachable, %d upstream-partial of %d peers: %s",
+				errPartialRefused, PartialFail, len(fo.failed), len(fo.degraded), len(g.peers),
+				strings.Join(append(append([]string(nil), fo.failed...), fo.degraded...), ", "))
+		}
+	}
+	return merged, fo, nil
+}
+
+// servedPartial counts a degraded answer that actually went out the door
+// (the handlers call it after their last failure point, so refused or
+// errored queries never inflate the partial_queries stat).
+func (g *Gateway) servedPartial(fo fanout) {
+	if fo.partial() {
+		g.partialQueries.Add(1)
+	}
+}
+
+// firstError returns the index of the first non-nil error (len(errs) if
+// none — callers only use it when at least one exists).
+func firstError(errs []error) int {
+	for i, err := range errs {
+		if err != nil {
+			return i
+		}
+	}
+	return len(errs)
+}
+
+func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
+	k, err := server.ParseK(r)
+	if err != nil {
+		server.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	merged, fo, err := g.federate(r.Context())
+	if err != nil {
+		server.WriteError(w, federateStatus(err), err)
+		return
+	}
+	resp := QueryResponse{
+		Partial:       fo.partial(),
+		PeersTotal:    len(g.peers),
+		PeersOK:       fo.ok,
+		FailedPeers:   fo.failed,
+		DegradedPeers: fo.degraded,
+	}
+	// The answer itself is built by the same code as on a single daemon,
+	// so the two tiers agree on response shape and status codes.
+	resp.QueryResponse, err = server.AnswerQuery(merged, k)
+	if err != nil {
+		server.WriteError(w, server.QueryErrorStatus(err), err)
+		return
+	}
+	g.servedPartial(fo)
+	server.WriteJSON(w, http.StatusOK, resp)
+}
+
+// handleSketch re-exports the federated merged sketch in the versioned
+// envelope, so gateways stack: a higher-tier gateway can treat this one
+// as a single peer. A partial fold is marked with X-Sketch-Partial: true
+// (PartialDegrade) rather than served silently.
+func (g *Gateway) handleSketch(w http.ResponseWriter, r *http.Request) {
+	merged, fo, err := g.federate(r.Context())
+	if err != nil {
+		server.WriteError(w, federateStatus(err), err)
+		return
+	}
+	blob, err := merged.Serialize()
+	if err != nil {
+		if errors.Is(err, sketch.ErrNotSerializable) {
+			server.WriteError(w, http.StatusNotImplemented, err)
+			return
+		}
+		server.WriteError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if fo.partial() {
+		w.Header().Set(partialHeader, "true")
+	}
+	g.servedPartial(fo)
+	server.WriteSketch(w, blob)
+}
+
+// handleIngest routes a batch across the fleet: each point is assigned to
+// exactly one peer by its routing-cell hash, and the per-peer sub-batches
+// are forwarded in parallel in the packed-binary format. Any peer failure
+// fails the whole request with 502 — but sub-batches already delivered
+// stay delivered, and retrying the full batch is safe: re-ingested points
+// are near-duplicates of themselves and collapse in the sketches.
+func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
+	g.ingestRequests.Add(1)
+	body := http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes)
+	pts, err := pointio.ReadBatch(body, r.Header.Get("Content-Type"), g.cfg.Dim)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			server.WriteError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
+		server.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	buckets := make([][]geom.Point, len(g.peers))
+	for _, p := range pts {
+		i := g.peerIndex(p)
+		buckets[i] = append(buckets[i], p)
+	}
+
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		failed []string
+	)
+	now := time.Now()
+	for i, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		p := g.peers[i]
+		if !p.admit(now, g.cfg.DownCooldown) {
+			// Under mu: goroutines spawned for earlier buckets may already
+			// be appending their failures concurrently.
+			mu.Lock()
+			failed = append(failed, fmt.Sprintf("%s: down (circuit open)", p.url))
+			mu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func(p *peer, bucket []geom.Point) {
+			defer wg.Done()
+			// Forward in bounded chunks: a terse text body near the
+			// gateway's cap can expand several-fold when re-encoded as
+			// packed binary, so shipping a bucket whole could exceed the
+			// peer's own MaxBodyBytes deterministically. Chunks stay well
+			// under the peers' default cap.
+			maxPts := max(forwardChunkBytes/(8*g.cfg.Dim), 1)
+			for len(bucket) > 0 {
+				n := min(len(bucket), maxPts)
+				chunk := bucket[:n]
+				bucket = bucket[n:]
+				body := pointio.AppendBinaryBatch(make([]byte, 0, 8*g.cfg.Dim*n), chunk)
+				blob, _, err := g.do(r.Context(), p, http.MethodPost, "/ingest",
+					pointio.BinaryContentType, body)
+				if err != nil {
+					mu.Lock()
+					failed = append(failed, err.Error())
+					mu.Unlock()
+					return
+				}
+				var ir server.IngestResponse
+				if err := json.Unmarshal(blob, &ir); err != nil || ir.Ingested != n {
+					mu.Lock()
+					failed = append(failed, fmt.Sprintf("%s: peer accepted %d of %d points (%v)",
+						p.url, ir.Ingested, n, err))
+					mu.Unlock()
+					return
+				}
+				g.pointsRouted.Add(int64(n))
+			}
+		}(p, bucket)
+	}
+	wg.Wait()
+	if len(failed) > 0 {
+		server.WriteError(w, http.StatusBadGateway,
+			fmt.Errorf("cluster: ingest failed on %d peer(s) — retrying the whole batch is safe (duplicates collapse): %s",
+				len(failed), strings.Join(failed, "; ")))
+		return
+	}
+	// TotalPoints is the gateway's cumulative routed count, not a sum of
+	// the peers' per-batch totals: summing only the peers this batch
+	// touched would make the "cumulative" number jump around with
+	// routing. It is monotone per gateway, like a single daemon's counter
+	// is monotone per daemon (peers ingesting directly are not included —
+	// query a peer's /stats for its own view).
+	server.WriteJSON(w, http.StatusOK, server.IngestResponse{
+		Ingested:    len(pts),
+		TotalPoints: g.pointsRouted.Load(),
+	})
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
+	resp := StatsResponse{
+		Peers:          make([]PeerStatus, len(g.peers)),
+		PartialPolicy:  g.cfg.Partial,
+		StartedAt:      g.start.UTC().Format(time.RFC3339),
+		UptimeSeconds:  time.Since(g.start).Seconds(),
+		IngestRequests: g.ingestRequests.Load(),
+		PointsRouted:   g.pointsRouted.Load(),
+		Queries:        g.queries.Load(),
+		PartialQueries: g.partialQueries.Load(),
+	}
+	for i, p := range g.peers {
+		up := p.up()
+		if up {
+			resp.PeersUp++
+		}
+		resp.Peers[i] = PeerStatus{
+			URL:                 p.url,
+			Up:                  up,
+			Requests:            p.requests.Load(),
+			Failures:            p.failures.Load(),
+			ConsecutiveFailures: p.consec.Load(),
+			LastError:           p.lastError(),
+		}
+	}
+	server.WriteJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz reflects fleet health: 200 "ok" with every breaker
+// closed, 200 "degraded (k/n peers up)" with a live subset, 503 with
+// none (the gateway cannot answer anything). A tripped peer counts as
+// down until a successful probe closes its breaker — elapsing cooldown
+// alone never reports health back. Health is passive: it reflects what
+// request traffic has observed, so peers that have never been talked to
+// are presumed up (an idle gateway with unreachable peers reports ok
+// until requests prove otherwise) — probe the peers' own /healthz for
+// active cold-start detection.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	up := 0
+	for _, p := range g.peers {
+		if p.up() {
+			up++
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	switch {
+	case up == len(g.peers):
+		fmt.Fprintln(w, "ok")
+	case up > 0:
+		fmt.Fprintf(w, "degraded (%d/%d peers up)\n", up, len(g.peers))
+	default:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "no live peers")
+	}
+}

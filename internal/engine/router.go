@@ -54,10 +54,14 @@ func NewDefaultRouter(dim int, alpha float64, seed uint64) *GridRouter {
 // Route returns the routing-cell hash of p (allocation-free).
 func (r *GridRouter) Route(p geom.Point) uint64 { return r.g.CellHash(p) }
 
-// defaultRouter validates the option fields the routing grid needs —
-// grid.New panics on them, but the engine constructors promise errors —
-// and builds the default router.
-func defaultRouter(opts core.Options) (*GridRouter, error) {
+// NewRouterFromOptions validates the option fields the routing grid needs
+// — grid.New panics on them, but the engine constructors promise errors —
+// and builds the default router for sketches with those options. It is
+// the one routing constructor shared by every tier: the in-process engine
+// shards with it, and internal/cluster's gateway routes ingest batches
+// across daemons with the same grid, so a near-duplicate group lands on
+// exactly one peer for the same reason it lands on one shard.
+func NewRouterFromOptions(opts core.Options) (*GridRouter, error) {
 	if opts.Dim < 1 {
 		return nil, fmt.Errorf("engine: Options.Dim must be ≥ 1, got %d", opts.Dim)
 	}
@@ -73,7 +77,7 @@ func defaultRouter(opts core.Options) (*GridRouter, error) {
 // cfg.New and cfg.Router are filled in; the other fields are honored.
 func NewSamplerEngine(opts core.Options, cfg Config) (*Engine, error) {
 	if cfg.Router == nil {
-		r, err := defaultRouter(opts)
+		r, err := NewRouterFromOptions(opts)
 		if err != nil {
 			return nil, err
 		}
@@ -90,7 +94,7 @@ func NewSamplerEngine(opts core.Options, cfg Config) (*Engine, error) {
 // default grid router derived from the same options.
 func NewF0Engine(opts core.Options, eps float64, copies int, cfg Config) (*Engine, error) {
 	if cfg.Router == nil {
-		r, err := defaultRouter(opts)
+		r, err := NewRouterFromOptions(opts)
 		if err != nil {
 			return nil, err
 		}

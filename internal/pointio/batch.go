@@ -1,0 +1,134 @@
+package pointio
+
+// Ingest-batch wire formats. The HTTP tier (internal/server behind
+// cmd/sketchd, internal/cluster behind cmd/sketchgw) ships point batches
+// in one of two bodies: NDJSON/text (one point per line, JSON array or
+// whitespace/comma separated, '#' comments skipped) or packed binary
+// (little-endian float64 coordinates, dim per point, no framing). The
+// decoders live here so that every network layer shares one parser — and
+// one fuzz target (FuzzReadBinaryBatch / FuzzReadTextBatch): malformed
+// frames must error, never panic.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// BinaryContentType is the Content-Type selecting the packed-binary
+// ingest format; every other Content-Type is parsed as NDJSON/text.
+const BinaryContentType = "application/octet-stream"
+
+// ReadBatch parses an ingest body in the format selected by the HTTP
+// Content-Type (parameters after ';' are ignored): packed binary for
+// BinaryContentType, NDJSON/text otherwise. An empty body is an empty
+// batch, not an error.
+func ReadBatch(r io.Reader, contentType string, dim int) ([]geom.Point, error) {
+	if i := strings.IndexByte(contentType, ';'); i >= 0 {
+		contentType = contentType[:i]
+	}
+	if strings.TrimSpace(contentType) == BinaryContentType {
+		return ReadBinaryBatch(r, dim)
+	}
+	return ReadTextBatch(r, dim)
+}
+
+// ReadTextBatch reads an NDJSON/text ingest body: one point per line,
+// either a JSON array of coordinates ("[1.5, 2]") or whitespace/comma
+// separated coordinates (the ReadPoints CLI format); blank lines and '#'
+// comments are skipped. Unlike ReadPoints an empty body is fine — an idle
+// client batch ingests zero points. Non-finite coordinates are rejected.
+func ReadTextBatch(r io.Reader, dim int) ([]geom.Point, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("pointio: dimension must be ≥ 1, got %d", dim)
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	var pts []geom.Point
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var p geom.Point
+		if strings.HasPrefix(text, "[") {
+			var coords []float64
+			if err := json.Unmarshal([]byte(text), &coords); err != nil {
+				return nil, fmt.Errorf("pointio: line %d: %w", lineNo, err)
+			}
+			p = geom.Point(coords)
+			if len(p) != dim {
+				return nil, fmt.Errorf("pointio: line %d: %d coordinates, want %d", lineNo, len(p), dim)
+			}
+		} else {
+			var err error
+			p, err = ParsePoint(text, dim)
+			if err != nil {
+				return nil, fmt.Errorf("pointio: line %d: %w", lineNo, err)
+			}
+		}
+		for _, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("pointio: line %d: non-finite coordinate", lineNo)
+			}
+		}
+		pts = append(pts, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// ReadBinaryBatch reads a packed-binary ingest body: a sequence of
+// little-endian float64 coordinates, dim per point, no framing — a body
+// of 8·dim·n bytes is n points. Misaligned bodies and non-finite
+// coordinates are rejected.
+func ReadBinaryBatch(r io.Reader, dim int) ([]geom.Point, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("pointio: dimension must be ≥ 1, got %d", dim)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	stride := 8 * dim
+	if len(data)%stride != 0 {
+		return nil, fmt.Errorf("pointio: binary body of %d bytes is not a multiple of %d (dim %d × 8)",
+			len(data), stride, dim)
+	}
+	pts := make([]geom.Point, 0, len(data)/stride)
+	for off := 0; off < len(data); off += stride {
+		p := make(geom.Point, dim)
+		for i := 0; i < dim; i++ {
+			bits := binary.LittleEndian.Uint64(data[off+8*i:])
+			v := math.Float64frombits(bits)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("pointio: point %d has non-finite coordinate", off/stride)
+			}
+			p[i] = v
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// AppendBinaryBatch appends the packed-binary encoding of pts to dst and
+// returns the extended slice — the inverse of ReadBinaryBatch, used by
+// the cluster gateway to forward routed sub-batches.
+func AppendBinaryBatch(dst []byte, pts []geom.Point) []byte {
+	for _, p := range pts {
+		for _, v := range p {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	}
+	return dst
+}

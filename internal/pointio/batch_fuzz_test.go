@@ -1,0 +1,138 @@
+package pointio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// FuzzReadBinaryBatch feeds arbitrary bytes through the packed-binary
+// ingest decoder: malformed frames must error, never panic, and whatever
+// decodes successfully must round-trip through AppendBinaryBatch
+// bit-for-bit.
+func FuzzReadBinaryBatch(f *testing.F) {
+	well := AppendBinaryBatch(nil, []geom.Point{{1, 2}, {3.5, -4.25}})
+	f.Add(well, 2)
+	f.Add([]byte{}, 2)
+	f.Add([]byte{1, 2, 3, 4, 5}, 2)          // misaligned
+	f.Add(well[:len(well)-3], 2)             // truncated frame
+	f.Add(bytes.Repeat([]byte{0xff}, 16), 2) // NaN coordinates
+	f.Add(well, 1)                           // wrong dimension for the payload
+	f.Fuzz(func(t *testing.T, data []byte, dim int) {
+		if dim > 32 {
+			return
+		}
+		pts, err := ReadBinaryBatch(bytes.NewReader(data), dim)
+		if dim < 1 {
+			if err == nil {
+				t.Fatalf("dim %d accepted", dim)
+			}
+			return
+		}
+		if err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		if len(data)%(8*dim) != 0 {
+			t.Fatalf("misaligned %d-byte body decoded at dim %d", len(data), dim)
+		}
+		for i, p := range pts {
+			if len(p) != dim {
+				t.Fatalf("point %d has dimension %d, want %d", i, len(p), dim)
+			}
+			for _, v := range p {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("point %d has non-finite coordinate %v", i, v)
+				}
+			}
+		}
+		back := AppendBinaryBatch(nil, pts)
+		if !bytes.Equal(back, data) {
+			t.Fatalf("round-trip changed %d-byte body to %d bytes", len(data), len(back))
+		}
+	})
+}
+
+// FuzzReadTextBatch feeds arbitrary text through the NDJSON/text ingest
+// decoder: it must never panic, and every parsed point must have the
+// requested dimension and finite coordinates.
+func FuzzReadTextBatch(f *testing.F) {
+	f.Add("[1.5, 2.25]\n3 4.5\n# comment\n\n", 2)
+	f.Add("[1, 2, 3]\n", 2)
+	f.Add("[1, oops]\n", 2)
+	f.Add("1 NaN\n", 2)
+	f.Add("[1e999]\n", 1)
+	f.Add("", 3)
+	f.Fuzz(func(t *testing.T, input string, dim int) {
+		if dim < 1 || dim > 32 {
+			return
+		}
+		pts, err := ReadTextBatch(strings.NewReader(input), dim)
+		if err != nil {
+			return
+		}
+		for i, p := range pts {
+			if len(p) != dim {
+				t.Fatalf("point %d has dimension %d, want %d", i, len(p), dim)
+			}
+			for _, v := range p {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("point %d has non-finite coordinate %v", i, v)
+				}
+			}
+		}
+	})
+}
+
+// TestReadBatchContentType pins the Content-Type dispatch: binary bodies
+// decode only under BinaryContentType (parameters ignored), everything
+// else is text.
+func TestReadBatchContentType(t *testing.T) {
+	pts := []geom.Point{{1, 2}, {3, 4}}
+	bin := AppendBinaryBatch(nil, pts)
+
+	got, err := ReadBatch(bytes.NewReader(bin), "application/octet-stream; charset=binary", 2)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("binary dispatch: %v, %d points", err, len(got))
+	}
+	got, err = ReadBatch(strings.NewReader("[1,2]\n3 4\n"), "application/x-ndjson", 2)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("text dispatch: %v, %d points", err, len(got))
+	}
+	if _, err := ReadBatch(bytes.NewReader(bin[:5]), BinaryContentType, 2); err == nil {
+		t.Fatal("misaligned binary body accepted")
+	}
+	if _, err := ReadBatch(strings.NewReader("junk\n"), "text/plain", 2); err == nil {
+		t.Fatal("malformed text body accepted")
+	}
+}
+
+// TestBinaryBatchRoundTrip pins the encoder/decoder pair the gateway uses
+// to forward routed sub-batches.
+func TestBinaryBatchRoundTrip(t *testing.T) {
+	pts := []geom.Point{{0, -0.5}, {math.MaxFloat64, math.SmallestNonzeroFloat64}, {1e-300, 42}}
+	blob := AppendBinaryBatch(nil, pts)
+	if len(blob) != 8*2*len(pts) {
+		t.Fatalf("encoded %d bytes, want %d", len(blob), 8*2*len(pts))
+	}
+	back, err := ReadBinaryBatch(bytes.NewReader(blob), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(pts) {
+		t.Fatalf("decoded %d points, want %d", len(back), len(pts))
+	}
+	for i := range pts {
+		for j := range pts[i] {
+			if binary.LittleEndian.Uint64(blob[8*(2*i+j):]) != math.Float64bits(pts[i][j]) {
+				t.Fatalf("coordinate %d/%d miscoded", i, j)
+			}
+			if back[i][j] != pts[i][j] {
+				t.Fatalf("coordinate %d/%d changed: %v → %v", i, j, pts[i][j], back[i][j])
+			}
+		}
+	}
+}

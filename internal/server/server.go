@@ -4,9 +4,14 @@
 //
 //	POST /ingest      — NDJSON or binary point batches → Engine.ProcessBatch
 //	GET  /query       — answer from the engine's cached merged snapshot
+//	GET  /sketch      — the serialized merged snapshot (versioned envelope)
 //	GET  /stats       — engine counters + server counters as JSON
 //	POST /checkpoint  — atomically write the engine state to disk
 //	GET  /healthz     — liveness probe
+//
+// GET /sketch is what federates daemons: internal/cluster's gateway
+// fetches the serialized snapshots of many sketchd peers, Deserializes
+// them, and folds them with Mergeable.Merge into one logical sketch.
 //
 // The handler is an http.Handler; the caller owns the http.Server and the
 // engine's lifecycle (cmd/sketchd wires up graceful shutdown and startup
@@ -14,16 +19,11 @@
 package server
 
 import (
-	"bufio"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
-	"math"
 	"net/http"
 	"strconv"
-	"strings"
 	"sync/atomic"
 	"time"
 
@@ -55,6 +55,11 @@ type Config struct {
 
 	// MaxBodyBytes caps a single ingest body. Defaults to 64 MiB.
 	MaxBodyBytes int64
+
+	// Restored records that the engine was restored from a checkpoint
+	// before the server was built; surfaced in GET /stats so operators can
+	// tell a restore from a cold start.
+	Restored bool
 }
 
 // Server is the HTTP front end. All handlers are safe for concurrent use;
@@ -83,6 +88,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /query", s.handleQuery)
+	s.mux.HandleFunc("GET /sketch", s.handleSketch)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -120,8 +126,13 @@ type QueryResponse struct {
 type StatsResponse struct {
 	// Engine mirrors engine.Stats.
 	Engine engine.Stats `json:"engine"`
+	// StartedAt is when the server was built (RFC 3339).
+	StartedAt string `json:"started_at"`
 	// UptimeSeconds is the time since the server was built.
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// RestoredFromCheckpoint reports whether the engine behind this server
+	// was restored from a checkpoint at startup rather than cold-started.
+	RestoredFromCheckpoint bool `json:"restored_from_checkpoint"`
 	// IngestRequests counts POST /ingest calls served.
 	IngestRequests int64 `json:"ingest_requests"`
 	// PointsIngested counts points accepted over HTTP (TotalPoints may be
@@ -139,133 +150,191 @@ type CheckpointResponse struct {
 	Points int64 `json:"points"`
 }
 
-// errorResponse is the JSON body of every non-2xx response.
-type errorResponse struct {
+// ErrorResponse is the JSON body of every non-2xx response — one shape
+// across the whole HTTP surface (single daemon and cluster gateway).
+type ErrorResponse struct {
+	// Error is the error message.
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// WriteJSON writes v as the JSON response body with the given status.
+// Shared by every HTTP tier so response framing cannot drift.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, errorResponse{Error: err.Error()})
+// WriteError writes err as an ErrorResponse with the given status.
+func WriteError(w http.ResponseWriter, code int, err error) {
+	WriteJSON(w, code, ErrorResponse{Error: err.Error()})
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.ingestRequests.Add(1)
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	var (
-		pts []geom.Point
-		err error
-	)
-	ct := r.Header.Get("Content-Type")
-	if i := strings.IndexByte(ct, ';'); i >= 0 {
-		ct = ct[:i]
-	}
-	switch strings.TrimSpace(ct) {
-	case "application/octet-stream":
-		pts, err = parseBinaryPoints(body, s.cfg.Dim)
-	default:
-		pts, err = parseTextPoints(body, s.cfg.Dim)
-	}
+	pts, err := pointio.ReadBatch(body, r.Header.Get("Content-Type"), s.cfg.Dim)
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge, err)
+			WriteError(w, http.StatusRequestEntityTooLarge, err)
 			return
 		}
-		writeError(w, http.StatusBadRequest, err)
+		WriteError(w, http.StatusBadRequest, err)
 		return
 	}
 	s.cfg.Engine.ProcessBatch(pts)
 	s.pointsIngested.Add(int64(len(pts)))
-	writeJSON(w, http.StatusOK, IngestResponse{
+	WriteJSON(w, http.StatusOK, IngestResponse{
 		Ingested:    len(pts),
 		TotalPoints: s.cfg.Engine.Enqueued(),
 	})
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	k := 1
-	if kq := r.URL.Query().Get("k"); kq != "" {
-		v, err := strconv.Atoi(kq)
-		if err != nil || v < 1 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad k %q", kq))
-			return
+// ParseK extracts the ?k= multi-sample parameter of a query request
+// (default 1).
+func ParseK(r *http.Request) (int, error) {
+	kq := r.URL.Query().Get("k")
+	if kq == "" {
+		return 1, nil
+	}
+	v, err := strconv.Atoi(kq)
+	if err != nil || v < 1 {
+		return 0, fmt.Errorf("server: bad k %q", kq)
+	}
+	return v, nil
+}
+
+// AnswerQuery builds the query response from a sketch, with k samples
+// without replacement when k > 1 — the answer logic shared by the
+// single-daemon /query handler and internal/cluster's federated one, so
+// the two tiers cannot drift. Map the error to a status with
+// QueryErrorStatus.
+func AnswerQuery(sk sketch.Sketch, k int) (QueryResponse, error) {
+	var resp QueryResponse
+	res, err := sk.Query()
+	if err != nil {
+		return resp, err
+	}
+	resp.Estimate = res.Estimate
+	resp.Sample = res.Sample
+	resp.SpaceWords = sk.Space()
+	if k > 1 {
+		multi, ok := sk.(interface {
+			QueryK(int) ([]geom.Point, error)
+		})
+		if !ok {
+			return resp, fmt.Errorf("%w (%T)", errUnsupportedK, sk)
 		}
-		k = v
+		samples, err := multi.QueryK(k)
+		if err != nil {
+			return resp, err
+		}
+		resp.Samples = make([][]float64, len(samples))
+		for i, p := range samples {
+			resp.Samples[i] = p
+		}
+	}
+	return resp, nil
+}
+
+// QueryErrorStatus maps an AnswerQuery error to its HTTP status: 400 for
+// a k the sketch cannot serve (client error), 409 when there is nothing
+// to answer from (empty engine, or the algorithm's low-probability
+// failure event emptied the accept set), 500 for anything else — a
+// non-mergeable sketch, a snapshot build failure.
+func QueryErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, errUnsupportedK):
+		return http.StatusBadRequest
+	case errors.Is(err, core.ErrEmptySketch), errors.Is(err, f0.ErrNoEstimate),
+		errors.Is(err, baseline.ErrEmpty):
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	k, err := ParseK(r)
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, err)
+		return
 	}
 	var resp QueryResponse
+	err = s.cfg.Engine.WithSnapshot(func(sk sketch.Sketch) error {
+		var qerr error
+		resp, qerr = AnswerQuery(sk, k)
+		return qerr
+	})
+	if err != nil {
+		WriteError(w, QueryErrorStatus(err), err)
+		return
+	}
+	WriteJSON(w, http.StatusOK, resp)
+}
+
+// handleSketch exports the engine's cached merged snapshot in the
+// pkg/sketch versioned envelope — the federation hook: a cluster gateway
+// fetches these from every peer, Deserializes, and Merges. The response
+// carries the sketch family in the X-Sketch-Kind header. An empty engine
+// still serializes (an empty sketch merges as a no-op); a family with no
+// wire format answers 501.
+func (s *Server) handleSketch(w http.ResponseWriter, _ *http.Request) {
+	var blob []byte
 	err := s.cfg.Engine.WithSnapshot(func(sk sketch.Sketch) error {
-		res, err := sk.Query()
-		if err != nil {
-			return err
-		}
-		resp.Estimate = res.Estimate
-		resp.Sample = res.Sample
-		resp.SpaceWords = sk.Space()
-		if k > 1 {
-			multi, ok := sk.(interface {
-				QueryK(int) ([]geom.Point, error)
-			})
-			if !ok {
-				return fmt.Errorf("%w (%T)", errUnsupportedK, sk)
-			}
-			samples, err := multi.QueryK(k)
-			if err != nil {
-				return err
-			}
-			resp.Samples = make([][]float64, len(samples))
-			for i, p := range samples {
-				resp.Samples[i] = p
-			}
-		}
-		return nil
+		b, serr := sk.Serialize()
+		blob = b
+		return serr
 	})
 	switch {
 	case err == nil:
-	case errors.Is(err, errUnsupportedK):
-		writeError(w, http.StatusBadRequest, err)
-		return
-	case errors.Is(err, core.ErrEmptySketch), errors.Is(err, f0.ErrNoEstimate),
-		errors.Is(err, baseline.ErrEmpty):
-		// Nothing to answer from: the engine is empty, or the algorithm's
-		// low-probability failure event emptied the accept set.
-		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, sketch.ErrNotSerializable):
+		WriteError(w, http.StatusNotImplemented, err)
 		return
 	default:
-		// Anything else — a non-mergeable sketch, a snapshot build
-		// failure — is a server-side problem.
-		writeError(w, http.StatusInternalServerError, err)
+		WriteError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteSketch(w, blob)
+}
+
+// WriteSketch writes a serialized sketch blob as the response body, with
+// the envelope's family in the X-Sketch-Kind header — the binary framing
+// shared by the daemon's and the cluster gateway's /sketch endpoints so
+// the export format cannot drift between tiers.
+func WriteSketch(w http.ResponseWriter, blob []byte) {
+	if kind, err := sketch.KindOf(blob); err == nil {
+		w.Header().Set("X-Sketch-Kind", kind.String())
+	}
+	w.Header().Set("Content-Type", pointio.BinaryContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
+	_, _ = w.Write(blob)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, StatsResponse{
-		Engine:         s.cfg.Engine.Stats(),
-		UptimeSeconds:  time.Since(s.start).Seconds(),
-		IngestRequests: s.ingestRequests.Load(),
-		PointsIngested: s.pointsIngested.Load(),
+	WriteJSON(w, http.StatusOK, StatsResponse{
+		Engine:                 s.cfg.Engine.Stats(),
+		StartedAt:              s.start.UTC().Format(time.RFC3339),
+		UptimeSeconds:          time.Since(s.start).Seconds(),
+		RestoredFromCheckpoint: s.cfg.Restored,
+		IngestRequests:         s.ingestRequests.Load(),
+		PointsIngested:         s.pointsIngested.Load(),
 	})
 }
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
 	if s.cfg.CheckpointPath == "" {
-		writeError(w, http.StatusNotImplemented,
+		WriteError(w, http.StatusNotImplemented,
 			fmt.Errorf("server: checkpointing disabled (no checkpoint path configured)"))
 		return
 	}
 	size, points, err := s.cfg.Engine.CheckpointFile(s.cfg.CheckpointPath)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		WriteError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, CheckpointResponse{
+	WriteJSON(w, http.StatusOK, CheckpointResponse{
 		Path:   s.cfg.CheckpointPath,
 		Bytes:  size,
 		Points: points,
@@ -275,78 +344,4 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain")
 	fmt.Fprintln(w, "ok")
-}
-
-// parseTextPoints reads an NDJSON/text ingest body: one point per line,
-// either a JSON array of coordinates ("[1.5, 2]") or whitespace/comma
-// separated coordinates (the pointio CLI format); blank lines and '#'
-// comments are skipped. Unlike pointio.ReadPoints an empty body is fine —
-// an idle client batch ingests zero points.
-func parseTextPoints(r io.Reader, dim int) ([]geom.Point, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64<<10), 1<<20)
-	var pts []geom.Point
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		var p geom.Point
-		if strings.HasPrefix(text, "[") {
-			var coords []float64
-			if err := json.Unmarshal([]byte(text), &coords); err != nil {
-				return nil, fmt.Errorf("server: line %d: %w", lineNo, err)
-			}
-			p = geom.Point(coords)
-			if len(p) != dim {
-				return nil, fmt.Errorf("server: line %d: %d coordinates, want %d", lineNo, len(p), dim)
-			}
-		} else {
-			var err error
-			p, err = pointio.ParsePoint(text, dim)
-			if err != nil {
-				return nil, fmt.Errorf("server: line %d: %w", lineNo, err)
-			}
-		}
-		for _, v := range p {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, fmt.Errorf("server: line %d: non-finite coordinate", lineNo)
-			}
-		}
-		pts = append(pts, p)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return pts, nil
-}
-
-// parseBinaryPoints reads a binary ingest body: a packed sequence of
-// little-endian float64 coordinates, dim per point, no framing.
-func parseBinaryPoints(r io.Reader, dim int) ([]geom.Point, error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, err
-	}
-	stride := 8 * dim
-	if len(data)%stride != 0 {
-		return nil, fmt.Errorf("server: binary body of %d bytes is not a multiple of %d (dim %d × 8)",
-			len(data), stride, dim)
-	}
-	pts := make([]geom.Point, 0, len(data)/stride)
-	for off := 0; off < len(data); off += stride {
-		p := make(geom.Point, dim)
-		for i := 0; i < dim; i++ {
-			bits := binary.LittleEndian.Uint64(data[off+8*i:])
-			v := math.Float64frombits(bits)
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, fmt.Errorf("server: point %d has non-finite coordinate", off/stride)
-			}
-			p[i] = v
-		}
-		pts = append(pts, p)
-	}
-	return pts, nil
 }

@@ -67,7 +67,7 @@ func mustJSON[T any](t *testing.T, resp *http.Response, wantCode int) T {
 	defer resp.Body.Close()
 	var v T
 	if resp.StatusCode != wantCode {
-		var e errorResponse
+		var e ErrorResponse
 		_ = json.NewDecoder(resp.Body).Decode(&e)
 		t.Fatalf("status %d (want %d): %s", resp.StatusCode, wantCode, e.Error)
 	}
@@ -179,6 +179,29 @@ func TestEndToEndIngestQueryCheckpointRestore(t *testing.T) {
 		t.Fatalf("stats processed=%d ingested=%d, want %d", st.Engine.Processed, st.PointsIngested, len(pts))
 	}
 
+	if st.RestoredFromCheckpoint {
+		t.Fatal("cold-started server claims a checkpoint restore")
+	}
+
+	// GET /sketch must export the merged snapshot in the versioned
+	// envelope, deserializable to a sketch with the server's estimate.
+	resp, err = http.Get(ts.URL + "/sketch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sketchBlob bytes.Buffer
+	if _, err := sketchBlob.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Sketch-Kind") != "l0" {
+		t.Fatalf("sketch status %d kind %q", resp.StatusCode, resp.Header.Get("X-Sketch-Kind"))
+	}
+	exported, err := sketch.Deserialize(sketchBlob.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	resp, err = http.Get(ts.URL + "/query?k=3")
 	if err != nil {
 		t.Fatal(err)
@@ -189,6 +212,9 @@ func TestEndToEndIngestQueryCheckpointRestore(t *testing.T) {
 	}
 	if len(q.Samples) != 3 || q.Sample == nil || q.SpaceWords <= 0 {
 		t.Fatalf("query response %+v", q)
+	}
+	if eres, err := exported.Query(); err != nil || eres.Estimate != q.Estimate {
+		t.Fatalf("exported sketch estimates %v (%v), server answered %g", eres.Estimate, err, q.Estimate)
 	}
 
 	// Repeat queries must be served from the snapshot cache.
@@ -229,7 +255,7 @@ func TestEndToEndIngestQueryCheckpointRestore(t *testing.T) {
 	if err := eng2.RestoreFile(ckpt); err != nil {
 		t.Fatal(err)
 	}
-	srv2, err := New(Config{Engine: eng2, Dim: opts.Dim, CheckpointPath: ckpt})
+	srv2, err := New(Config{Engine: eng2, Dim: opts.Dim, CheckpointPath: ckpt, Restored: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,6 +276,9 @@ func TestEndToEndIngestQueryCheckpointRestore(t *testing.T) {
 	st2 := mustJSON[StatsResponse](t, resp, http.StatusOK)
 	if st2.Engine.Enqueued != int64(len(pts)) {
 		t.Fatalf("restored engine reports %d points, want %d", st2.Engine.Enqueued, len(pts))
+	}
+	if !st2.RestoredFromCheckpoint || st2.StartedAt == "" || st2.UptimeSeconds < 0 {
+		t.Fatalf("restored stats %+v", st2)
 	}
 }
 

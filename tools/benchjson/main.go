@@ -1,0 +1,140 @@
+// Command benchjson runs a set of benchmarks through `go test -bench`
+// and emits the results as machine-readable JSON, so the repository's
+// performance trajectory can be tracked commit over commit (CI runs a
+// 1x smoke invocation and archives the file).
+//
+//	go run ./tools/benchjson                       # engine + gateway → BENCH_engine.json
+//	go run ./tools/benchjson -bench 'BenchmarkF0' -benchtime 10x -out f0.json
+//
+// The output records the environment (go version, GOOS/GOARCH, CPU
+// count, timestamp) and, per benchmark, the iteration count and every
+// metric `go test` printed — ns/op, B/op, allocs/op, and custom
+// b.ReportMetric units such as pts/s and queries/s.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line of `go test -bench` output.
+type Result struct {
+	// Name is the full benchmark name including sub-benchmark path and
+	// GOMAXPROCS suffix, e.g. "BenchmarkEngineProcess/shards=4-8".
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every metric on the line (ns/op,
+	// B/op, allocs/op, custom b.ReportMetric units).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the JSON document benchjson writes.
+type Report struct {
+	// GoVersion, GOOS, GOARCH, and NumCPU describe the machine the
+	// numbers were measured on.
+	GoVersion string `json:"go_version"`
+	// GOOS is the target operating system.
+	GOOS string `json:"goos"`
+	// GOARCH is the target architecture.
+	GOARCH string `json:"goarch"`
+	// NumCPU is runtime.NumCPU at measurement time.
+	NumCPU int `json:"num_cpu"`
+	// GeneratedAt is the measurement timestamp (RFC 3339, UTC).
+	GeneratedAt string `json:"generated_at"`
+	// Bench is the -bench regexp that selected the benchmarks.
+	Bench string `json:"bench"`
+	// Benchtime is the -benchtime the benchmarks ran with.
+	Benchtime string `json:"benchtime"`
+	// Benchmarks holds one entry per benchmark line.
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		bench     = flag.String("bench", "BenchmarkEngineProcess|BenchmarkGatewayQuery", "benchmark selection regexp passed to go test -bench")
+		benchtime = flag.String("benchtime", "1x", "go test -benchtime value (e.g. 1x, 100x, 2s)")
+		pkg       = flag.String("pkg", ".", "package pattern to benchmark")
+		out       = flag.String("out", "BENCH_engine.json", "output JSON file")
+	)
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench,
+		"-benchtime", *benchtime, "-benchmem", *pkg)
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fatal(fmt.Errorf("go test: %w", err))
+	}
+
+	results, err := parseBench(stdout.String())
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines matched %q (output:\n%s)", *bench, stdout.String()))
+	}
+	report := Report{
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Bench:       *bench,
+		Benchtime:   *benchtime,
+		Benchmarks:  results,
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchjson: %d benchmarks → %s\n", len(results), *out)
+}
+
+// parseBench extracts benchmark result lines from `go test -bench`
+// output. A line is
+//
+//	BenchmarkName-8   123   456.7 ns/op   89 B/op   1 allocs/op   2.5 pts/s
+//
+// i.e. name, iteration count, then (value, unit) pairs.
+func parseBench(output string) ([]Result, error) {
+	var results []Result
+	for _, line := range strings.Split(output, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // "Benchmark..." headers without counts (e.g. goos lines) never parse here
+		}
+		r := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad metric value %q in line %q", fields[i], line)
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
