@@ -332,6 +332,46 @@ func BenchmarkEngineProcess(b *testing.B) {
 	}
 }
 
+// BenchmarkWindowEngineProcess measures stamped ingestion into the
+// sharded time-window engine across shard counts: the sliding-window
+// counterpart of BenchmarkEngineProcess (stamps advance once per chunk,
+// so expiry churn is part of the measured path).
+func BenchmarkWindowEngineProcess(b *testing.B) {
+	const chunk = 512
+	rng := rand.New(rand.NewPCG(47, 53))
+	pts := make([]geom.Point, 1<<16)
+	for i := range pts {
+		pts[i] = geom.Point{rng.Float64() * 4096, rng.Float64() * 4096}
+	}
+	stamps := make([]int64, len(pts))
+	win := window.Window{Kind: window.Time, W: 1 << 14}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			opts := core.Options{Alpha: 1, Dim: 2, Seed: 9, StreamBound: 1 << 21, HighDim: true}
+			eng, err := engine.NewWindowSamplerEngine(opts, win, engine.Config{Shards: shards, BatchSize: chunk})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var now int64
+			for n := 0; n < b.N; n += chunk {
+				lo := n % (len(pts) - chunk)
+				hi := min(lo+chunk, lo+(b.N-n))
+				now++
+				for i := lo; i < hi; i++ {
+					stamps[i] = now
+				}
+				eng.ProcessStampedBatch(pts[lo:hi], stamps[lo:hi])
+			}
+			eng.Drain()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pts/s")
+			eng.Close()
+		})
+	}
+}
+
 // BenchmarkGatewayQuery measures one federated scatter-gather round over
 // an in-process 3-peer cluster: fetch every peer's serialized snapshot
 // over HTTP, deserialize, merge, query. This is the cluster tier's

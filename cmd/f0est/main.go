@@ -7,11 +7,14 @@
 //	f0est -dataset rand5-pl
 //	f0est -dataset seeds -window 1024
 //	f0est -dataset rand5-pl -shards 8
+//	f0est -dataset seeds -window 1024 -window-kind time -shards 8
 //
 // Input format matches l0sample: one point per line, whitespace- or
-// comma-separated coordinates. With -shards P > 1 (infinite window only)
-// the stream is partitioned across P parallel estimator shards and the
-// estimate is taken from the merged snapshot.
+// comma-separated coordinates. With -shards P > 1 the stream is
+// partitioned across P parallel estimator shards and the estimate is
+// taken from the merged snapshot; windows can be sharded only with
+// -window-kind time (arrival indices serve as timestamps on this input),
+// sequence windows only run single-threaded.
 package main
 
 import (
@@ -38,7 +41,8 @@ func main() {
 		copies  = flag.Int("copies", 9, "median-boosting copies")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		windowW = flag.Int64("window", 0, "sliding window size (0 = infinite window)")
-		shards  = flag.Int("shards", 1, "partition the stream across N parallel estimator shards (infinite window only)")
+		windowK = flag.String("window-kind", "sequence", "window semantics: sequence (last W points) or time (stamps = arrival indices; shardable)")
+		shards  = flag.Int("shards", 1, "partition the stream across N parallel estimator shards (infinite window or -window-kind time)")
 	)
 	flag.Parse()
 
@@ -48,16 +52,41 @@ func main() {
 	}
 
 	if *windowW > 0 {
-		if *shards > 1 {
-			fatal(fmt.Errorf("%w: drop -shards to run the sliding-window estimator single-threaded, or drop -window to shard the infinite-window estimator (see docs/engine.md, \"Limitations\")", engine.ErrWindowedSharding))
-		}
-		opts.Kappa = 1
-		opts.StreamBound = 16
-		we, err := sketch.NewWindowF0(opts, window.Window{Kind: window.Sequence, W: *windowW}, *eps)
+		kind, err := window.ParseKind(*windowK)
 		if err != nil {
 			fatal(err)
 		}
-		we.ProcessBatch(pts)
+		win := window.Window{Kind: kind, W: *windowW}
+		opts.Kappa = 1
+		opts.StreamBound = 16
+		if *shards > 1 {
+			if win.Kind != window.Time {
+				fatal(fmt.Errorf("%w: drop -shards to run the sequence-window estimator single-threaded, use -window-kind time, or drop -window to shard the infinite-window estimator (see docs/engine.md, \"Limitations\")", engine.ErrWindowedSharding))
+			}
+			eng, err := engine.NewWindowF0Engine(opts, win, *eps, engine.Config{Shards: *shards})
+			if err != nil {
+				fatal(err)
+			}
+			eng.ProcessStampedBatch(pts, pointio.IndexStamps(len(pts)))
+			res, err := eng.Query()
+			if err != nil {
+				fatal(err)
+			}
+			st := eng.Stats()
+			fmt.Printf("robust F0 of last %d points: %.1f (%d shards, %d words, %.0f pts/s)\n",
+				*windowW, res.Estimate, st.Shards, st.SpaceWords, st.Throughput)
+			eng.Close()
+			return
+		}
+		we, err := sketch.NewWindowF0(opts, win, *eps)
+		if err != nil {
+			fatal(err)
+		}
+		if win.Kind == window.Time {
+			we.ProcessStampedBatch(pts, pointio.IndexStamps(len(pts)))
+		} else {
+			we.ProcessBatch(pts)
+		}
 		res, err := we.Query()
 		if err != nil {
 			fatal(err)

@@ -9,13 +9,17 @@
 //	l0sample -dataset rand5 -k 3
 //	l0sample -alpha 0.5 -dim 2 -window 1000 < points.txt
 //	l0sample -dataset rand5 -shards 8
+//	l0sample -dataset rand5 -window 1000 -window-kind time -shards 8
 //
 // With -window W a sliding-window sampler is used and a sample of the last
 // W points is printed at end of stream; otherwise the whole stream is
 // sampled. -k requests k samples without replacement. With -shards P > 1
-// (infinite window only) the stream is partitioned across P parallel
-// sketch workers by the sharded engine and queries are answered from the
-// merged snapshot.
+// the stream is partitioned across P parallel sketch workers by the
+// sharded engine and queries are answered from the merged snapshot;
+// windows can be sharded only with -window-kind time (each point's
+// arrival index is used as its timestamp, so the window semantics match
+// the sequence window on this input), sequence windows only run
+// single-threaded.
 package main
 
 import (
@@ -42,9 +46,10 @@ func main() {
 		k       = flag.Int("k", 1, "number of samples without replacement")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		windowW = flag.Int64("window", 0, "sliding window size (0 = infinite window)")
+		windowK = flag.String("window-kind", "sequence", "window semantics: sequence (last W points) or time (stamps = arrival indices; shardable)")
 		highDim = flag.Bool("highdim", true, "use the d·α grid (Section 4); set false for the α/2 grid (Section 2.1)")
 		random  = flag.Bool("random-rep", false, "return a random point of the sampled group instead of its first point")
-		shards  = flag.Int("shards", 1, "partition the stream across N parallel sketch workers (infinite window only)")
+		shards  = flag.Int("shards", 1, "partition the stream across N parallel sketch workers (infinite window or -window-kind time)")
 	)
 	flag.Parse()
 
@@ -54,14 +59,27 @@ func main() {
 	}
 
 	if *windowW > 0 {
-		if *shards > 1 {
-			fatal(fmt.Errorf("%w: drop -shards to run the sliding-window sampler single-threaded, or drop -window to shard the infinite-window sampler (see docs/engine.md, \"Limitations\")", engine.ErrWindowedSharding))
-		}
-		ws, err := sketch.NewWindowL0(opts, window.Window{Kind: window.Sequence, W: *windowW})
+		kind, err := window.ParseKind(*windowK)
 		if err != nil {
 			fatal(err)
 		}
-		ws.ProcessBatch(pts)
+		win := window.Window{Kind: kind, W: *windowW}
+		if *shards > 1 {
+			if win.Kind != window.Time {
+				fatal(fmt.Errorf("%w: drop -shards to run the sequence-window sampler single-threaded, use -window-kind time, or drop -window to shard the infinite-window sampler (see docs/engine.md, \"Limitations\")", engine.ErrWindowedSharding))
+			}
+			runWindowedEngine(opts, win, *shards, pts)
+			return
+		}
+		ws, err := sketch.NewWindowL0(opts, win)
+		if err != nil {
+			fatal(err)
+		}
+		if win.Kind == window.Time {
+			ws.ProcessStampedBatch(pts, pointio.IndexStamps(len(pts)))
+		} else {
+			ws.ProcessBatch(pts)
+		}
 		res, err := ws.Query()
 		if err != nil {
 			fatal(err)
@@ -111,6 +129,24 @@ func main() {
 	s := l0.Sampler()
 	fmt.Printf("stream: %d points; sketch: |Sacc|=%d |Srej|=%d R=%d peak=%d words\n",
 		s.Processed(), s.AcceptSize(), s.RejectSize(), s.R(), s.PeakSpaceWords())
+}
+
+// runWindowedEngine partitions an index-stamped stream across a sharded
+// time-window engine and prints a sample from the merged snapshot.
+func runWindowedEngine(opts core.Options, win window.Window, shards int, pts []geom.Point) {
+	eng, err := engine.NewWindowSamplerEngine(opts, win, engine.Config{Shards: shards})
+	if err != nil {
+		fatal(err)
+	}
+	eng.ProcessStampedBatch(pts, pointio.IndexStamps(len(pts)))
+	res, err := eng.Query()
+	if err != nil {
+		fatal(err)
+	}
+	st := eng.Stats()
+	fmt.Printf("window sample (last %d of %d points): %v\n", win.W, len(pts), res.Sample)
+	fmt.Printf("stream: %d points over %d shards (%.0f pts/s)\n", st.Processed, st.Shards, st.Throughput)
+	eng.Close()
 }
 
 func loadInput(ds, in string, alpha float64, dim int, seed uint64, highDim, random bool, k int) ([]geom.Point, core.Options, error) {

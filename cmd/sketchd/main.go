@@ -7,6 +7,7 @@
 //	sketchd -dim 2 -alpha 0.5 -shards 8 -checkpoint /var/lib/sketchd.ckpt
 //	sketchd -dim 2 -alpha 0.5 -shards 8 -checkpoint /var/lib/sketchd.ckpt -restore
 //	sketchd -dim 3 -sketch f0 -eps 0.2 -copies 9
+//	sketchd -dim 2 -alpha 0.5 -shards 8 -window 3600 -window-kind time
 //
 // Endpoints (full reference and a worked curl session in docs/server.md):
 //
@@ -17,6 +18,14 @@
 //	POST /checkpoint  atomically persist engine state to -checkpoint
 //	GET  /healthz     liveness
 //
+// With -window W (time-based windows only) the daemon serves the sliding
+// window of the last W time units instead of the whole stream: each
+// ingest batch is stamped with the client's X-Sketch-Stamp header or the
+// server clock in Unix seconds, expired points fall out of queries, and
+// windowed state checkpoints and federates like every other family.
+// Sequence windows cannot be sharded (run cmd/l0sample or cmd/f0est
+// single-threaded instead; see docs/engine.md "Limitations").
+//
 // With -checkpoint-every the daemon also checkpoints continuously in the
 // background (atomic writes, safe under live traffic), bounding data loss
 // on a crash to one interval.
@@ -24,8 +33,9 @@
 // On SIGINT/SIGTERM the daemon stops accepting requests, drains the
 // engine, and — when -save-on-exit is set — writes a final checkpoint, so
 // a subsequent -restore resumes exactly where the stream left off.
-// Restoring requires the same -sketch family, options, seed, and -shards
-// as the checkpointing run.
+// Restoring requires the same -sketch family, options, and seed as the
+// checkpointing run; -shards may differ (the checkpointed state is
+// re-routed onto the new shard layout with identical query results).
 package main
 
 import (
@@ -44,6 +54,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/server"
+	"repro/internal/window"
 )
 
 func main() {
@@ -65,13 +76,22 @@ func main() {
 		restore   = flag.Bool("restore", false, "restore engine state from -checkpoint at startup")
 		saveEnd   = flag.Bool("save-on-exit", false, "write a final checkpoint to -checkpoint on graceful shutdown")
 		ckptEvery = flag.Duration("checkpoint-every", 0, "write a background checkpoint to -checkpoint at this interval (0 disables)")
-		windowW   = flag.Int64("window", 0, "unsupported: sliding windows cannot be sharded (see docs/engine.md)")
+		windowW   = flag.Int64("window", 0, "serve a sliding window of the last W time units instead of the whole stream (0 = infinite window)")
+		windowK   = flag.String("window-kind", "time", "window semantics for -window: only \"time\" can be sharded (sequence windows: use cmd/l0sample or cmd/f0est single-threaded)")
 	)
 	flag.Parse()
 
+	var win window.Window
 	if *windowW > 0 {
-		fatal(fmt.Errorf("%w; run cmd/l0sample or cmd/f0est without -shards for sliding-window queries",
-			engine.ErrWindowedSharding))
+		kind, err := window.ParseKind(*windowK)
+		if err != nil {
+			fatal(err)
+		}
+		if kind != window.Time {
+			fatal(fmt.Errorf("%w; run cmd/l0sample or cmd/f0est without -shards for sequence-window queries",
+				engine.ErrWindowedSharding))
+		}
+		win = window.Window{Kind: kind, W: *windowW}
 	}
 	if *dim < 1 {
 		fatal(fmt.Errorf("-dim is required"))
@@ -97,10 +117,15 @@ func main() {
 		err error
 	)
 	cfg := engine.Config{Shards: *shards, BatchSize: *batch, QueueDepth: *queue}
-	switch *kind {
-	case "l0":
+	windowed := *windowW > 0
+	switch {
+	case *kind == "l0" && windowed:
+		eng, err = engine.NewWindowSamplerEngine(opts, win, cfg)
+	case *kind == "l0":
 		eng, err = engine.NewSamplerEngine(opts, cfg)
-	case "f0":
+	case *kind == "f0" && windowed:
+		eng, err = engine.NewWindowF0Engine(opts, win, *eps, cfg)
+	case *kind == "f0":
 		eng, err = engine.NewF0Engine(opts, *eps, *copies, cfg)
 	default:
 		err = fmt.Errorf("unknown -sketch %q (want l0 or f0)", *kind)
@@ -116,7 +141,13 @@ func main() {
 		log.Printf("restored %d points from %s", eng.Stats().Enqueued, *ckpt)
 	}
 
-	srv, err := server.New(server.Config{Engine: eng, Dim: *dim, CheckpointPath: *ckpt, Restored: *restore})
+	srv, err := server.New(server.Config{
+		Engine:         eng,
+		Dim:            *dim,
+		CheckpointPath: *ckpt,
+		Restored:       *restore,
+		Windowed:       windowed,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -154,7 +185,11 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("sketchd: %s engine, %d shards, listening on %s", *kind, eng.Stats().Shards, *addr)
+		desc := *kind
+		if windowed {
+			desc = fmt.Sprintf("%s over a %v window of %d", *kind, win.Kind, win.W)
+		}
+		log.Printf("sketchd: %s engine, %d shards, listening on %s", desc, eng.Stats().Shards, *addr)
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}

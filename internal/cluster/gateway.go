@@ -332,7 +332,7 @@ func (g *Gateway) federate(ctx context.Context) (sketch.Sketch, fanout, error) {
 		wg.Add(1)
 		go func(i int, p *peer) {
 			defer wg.Done()
-			blob, hdr, err := g.do(ctx, p, http.MethodGet, "/sketch", "", nil)
+			blob, hdr, err := g.do(ctx, p, http.MethodGet, "/sketch", "", nil, nil)
 			if err != nil {
 				errs[i] = err
 				return
@@ -485,6 +485,15 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 		i := g.peerIndex(p)
 		buckets[i] = append(buckets[i], p)
 	}
+	// Windowed peers stamp ingest batches: forward the client's explicit
+	// stamp so every routed sub-batch lands with the same timestamp it
+	// would have carried against a single daemon (without it, each peer
+	// stamps with its own clock — fine for wall-clock windows, wrong for
+	// logical stamps).
+	var stampHdr http.Header
+	if v := r.Header.Get(server.StampHeader); v != "" {
+		stampHdr = http.Header{server.StampHeader: []string{v}}
+	}
 
 	var (
 		wg     sync.WaitGroup
@@ -520,7 +529,7 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 				bucket = bucket[n:]
 				body := pointio.AppendBinaryBatch(make([]byte, 0, 8*g.cfg.Dim*n), chunk)
 				blob, _, err := g.do(r.Context(), p, http.MethodPost, "/ingest",
-					pointio.BinaryContentType, body)
+					pointio.BinaryContentType, body, stampHdr)
 				if err != nil {
 					mu.Lock()
 					failed = append(failed, err.Error())

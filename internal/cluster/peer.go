@@ -115,7 +115,7 @@ func decodePeerError(resp *http.Response) error {
 // the caller's own context being canceled (client disconnect, gateway
 // request deadline) charges nothing, so aborted fan-outs cannot open
 // breakers on healthy peers.
-func (g *Gateway) do(ctx context.Context, p *peer, method, path, contentType string, body []byte) ([]byte, http.Header, error) {
+func (g *Gateway) do(ctx context.Context, p *peer, method, path, contentType string, body []byte, extra http.Header) ([]byte, http.Header, error) {
 	p.requests.Add(1)
 	var lastErr error
 loop:
@@ -128,7 +128,7 @@ loop:
 			case <-time.After(g.cfg.RetryBackoff * time.Duration(attempt)):
 			}
 		}
-		blob, hdr, retriable, err := g.attempt(ctx, p, method, path, contentType, body)
+		blob, hdr, retriable, err := g.attempt(ctx, p, method, path, contentType, body, extra)
 		if err == nil {
 			p.recordSuccess()
 			return blob, hdr, nil
@@ -162,8 +162,9 @@ func transientStatus(code int) bool {
 
 // attempt performs a single HTTP exchange; retriable reports whether a
 // failure is worth another attempt (network error or a transient 502–504
-// status — see transientStatus).
-func (g *Gateway) attempt(ctx context.Context, p *peer, method, path, contentType string, body []byte) (blob []byte, hdr http.Header, retriable bool, err error) {
+// status — see transientStatus). extra headers (e.g. the forwarded ingest
+// stamp) are applied after the content type.
+func (g *Gateway) attempt(ctx context.Context, p *peer, method, path, contentType string, body []byte, extra http.Header) (blob []byte, hdr http.Header, retriable bool, err error) {
 	actx, cancel := context.WithTimeout(ctx, g.cfg.RequestTimeout)
 	defer cancel()
 	var rd io.Reader
@@ -176,6 +177,11 @@ func (g *Gateway) attempt(ctx context.Context, p *peer, method, path, contentTyp
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	for k, vs := range extra {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
 	}
 	resp, err := g.client.Do(req)
 	if err != nil {

@@ -35,11 +35,25 @@ func (s *Sampler) ProcessBatch(ps []geom.Point) {
 	}
 }
 
-// ProcessBatch feeds a batch of points to the sliding-window sampler,
-// stamping them with their arrival indices (sequence windows).
+// ProcessBatch feeds a batch of points to the sliding-window sampler with
+// implicit stamps: arrival indices for sequence windows, the latest known
+// timestamp for time windows (see Process).
 func (ws *WindowSampler) ProcessBatch(ps []geom.Point) {
 	for _, p := range ps {
-		ws.ProcessAt(p, ws.n+1)
+		ws.ProcessAt(p, ws.nextStamp())
+	}
+}
+
+// ProcessStampedBatch feeds a batch of explicitly stamped points to the
+// sliding-window sampler: stamps[i] is the timestamp of ps[i]. Stamps must
+// be non-decreasing and len(stamps) must equal len(ps). This is the
+// batched fast path the sharded engine uses for time-based windows.
+func (ws *WindowSampler) ProcessStampedBatch(ps []geom.Point, stamps []int64) {
+	if len(ps) != len(stamps) {
+		panic("core: ProcessStampedBatch: len(ps) != len(stamps)")
+	}
+	for i, p := range ps {
+		ws.ProcessAt(p, stamps[i])
 	}
 }
 

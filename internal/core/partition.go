@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/window"
+)
+
+// cloneEntry deep-copies an entry's sketch-owned state. Point slices are
+// shared (immutable by repository convention); the adjacency cache and the
+// window reservoir are copied because the clone's owner mutates them
+// independently of the source.
+func cloneEntry(e *entry) *entry {
+	c := &entry{
+		rep:       e.rep,
+		cell:      e.cell,
+		adj:       append([]grid.CellKey(nil), e.adj...),
+		accepted:  e.accepted,
+		stamp:     e.stamp,
+		count:     e.count,
+		pick:      e.pick,
+		last:      e.last,
+		lastStamp: e.lastStamp,
+	}
+	if len(e.wres) > 0 {
+		c.wres = append([]windowPick(nil), e.wres...)
+	}
+	return c
+}
+
+// Partition splits the sampler's stored state across n fresh samplers
+// built with the same options: every stored group lands on the sampler
+// shard(rep) selects, keeping its classification (all partitions inherit
+// the source's sample rate, and the grid and hash are seed-derived, so
+// re-classification is a no-op). Merging the partitions back yields the
+// original entry set — the property engine.Restore uses to load a
+// checkpoint into an engine with a different shard count. The source is
+// left intact. Each partition reports the source's Processed count (the
+// per-point history cannot be split); shard must return values in [0, n).
+func (s *Sampler) Partition(n int, shard func(p geom.Point) int) ([]*Sampler, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: Partition needs n ≥ 1, got %d", n)
+	}
+	parts := make([]*Sampler, n)
+	for i := range parts {
+		p, err := NewSampler(s.opts)
+		if err != nil {
+			return nil, err
+		}
+		p.r = s.r
+		p.rehash = s.rehash
+		p.n = s.n
+		parts[i] = p
+	}
+	for _, e := range s.entries {
+		i := shard(e.rep)
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("core: Partition route %d out of [0,%d)", i, n)
+		}
+		p := parts[i]
+		c := cloneEntry(e)
+		p.entries = append(p.entries, c)
+		p.index.add(c)
+		p.space.add(c.words(p.opts.RandomRepresentative, false))
+		if c.accepted {
+			p.numAcc++
+		}
+	}
+	return parts, nil
+}
+
+// Partition splits the window sampler's stored state across n fresh
+// samplers built with the same options and window, routing every stored
+// group by its representative and keeping it at its current level. Only
+// time-based windows partition (expiry is per-point, so shard-local
+// expiry composes); sequence windows return ErrWindowMerge. All
+// partitions share the source's clock, so merging them back (MergeFrom)
+// reproduces the original window contents.
+func (ws *WindowSampler) Partition(n int, shard func(p geom.Point) int) ([]*WindowSampler, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: Partition needs n ≥ 1, got %d", n)
+	}
+	if ws.win.Kind != window.Time {
+		return nil, fmt.Errorf("%w: cannot partition", ErrWindowMerge)
+	}
+	parts := make([]*WindowSampler, n)
+	for i := range parts {
+		p, err := NewWindowSampler(ws.opts, ws.win)
+		if err != nil {
+			return nil, err
+		}
+		p.n = ws.n
+		p.now = ws.now
+		parts[i] = p
+	}
+	if ws.latest != nil {
+		i := shard(ws.latest)
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("core: Partition route %d out of [0,%d)", i, n)
+		}
+		parts[i].latest, parts[i].latestStamp = ws.latest, ws.latestStamp
+	}
+	for l, lv := range ws.levels {
+		for el := lv.order.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*entry)
+			i := shard(e.rep)
+			if i < 0 || i >= n {
+				return nil, fmt.Errorf("core: Partition route %d out of [0,%d)", i, n)
+			}
+			p := parts[i]
+			p.levels[l].now = ws.now
+			p.levels[l].insert(cloneEntry(e))
+		}
+	}
+	for _, p := range parts {
+		p.trackSpace()
+	}
+	return parts, nil
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/window"
+)
+
+func timeWin(w int64) window.Window { return window.Window{Kind: window.Time, W: w} }
+
+// mergeStream builds a stamped stream over well-separated groups where
+// lower-numbered groups stop appearing partway through, so the trailing
+// window holds a strict subset of the groups.
+func mergeStream(groups, steps int) (pts []geom.Point, stamps []int64) {
+	for i := 0; i < steps; i++ {
+		g := i % groups
+		// Groups below groups/2 go silent after the first 60% of the stream.
+		if g < groups/2 && i > steps*3/5 {
+			g += groups / 2
+		}
+		pts = append(pts, geom.Point{float64(g) * 10, float64(i%3) * 0.1})
+		stamps = append(stamps, int64(i+1))
+	}
+	return pts, stamps
+}
+
+// TestWindowMergeMatchesSequentialExact: in the exact regime (threshold ≫
+// groups, every group accepted at level 0) a time-window sampler fed the
+// whole stream must hold exactly the same live-group count as the merge of
+// two samplers fed a routed split of it.
+func TestWindowMergeMatchesSequentialExact(t *testing.T) {
+	const groups, steps = 40, 4000
+	pts, stamps := mergeStream(groups, steps)
+	opts := Options{Alpha: 1, Dim: 2, Seed: 17, StreamBound: steps + 1, Kappa: 64}
+	win := timeWin(500)
+
+	seq, err := NewWindowSampler(opts, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewWindowSampler(opts, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewWindowSampler(opts, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		seq.ProcessAt(p, stamps[i])
+		// Route whole groups: group index parity decides the shard.
+		if int(p[0]/10)%2 == 0 {
+			a.ProcessAt(p, stamps[i])
+		} else {
+			b.ProcessAt(p, stamps[i])
+		}
+	}
+	if err := a.MergeFrom(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Now() != seq.Now() {
+		t.Fatalf("merged now %d != sequential %d", a.Now(), seq.Now())
+	}
+	sum := func(ws *WindowSampler) int {
+		total := 0
+		for _, n := range ws.AcceptSizes() {
+			total += n
+		}
+		return total
+	}
+	if got, want := sum(a), sum(seq); got != want {
+		t.Fatalf("merged live groups %d != sequential %d", got, want)
+	}
+	got, err := a.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sample must be a live group: every group with index < groups/2
+	// stopped appearing before the final window.
+	if g := int(got[0] / 10); g < groups/2 {
+		t.Fatalf("merged sampler returned expired group %d (point %v)", g, got)
+	}
+}
+
+// TestWindowMergeDuplicateGroups: the same groups on both sides must
+// coalesce — the merged window holds each group once, with the freshest
+// latest-point stamp.
+func TestWindowMergeDuplicateGroups(t *testing.T) {
+	opts := Options{Alpha: 1, Dim: 2, Seed: 23, StreamBound: 1 << 10, Kappa: 64}
+	a, _ := NewWindowSampler(opts, timeWin(100))
+	b, _ := NewWindowSampler(opts, timeWin(100))
+	for g := 0; g < 8; g++ {
+		a.ProcessAt(geom.Point{float64(g) * 10, 0}, int64(10*g+1))
+		b.ProcessAt(geom.Point{float64(g) * 10, 0.2}, int64(10*g+5))
+	}
+	if err := a.MergeFrom(b); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range a.AcceptSizes() {
+		total += n
+	}
+	if total != 8 {
+		t.Fatalf("merged duplicate groups: %d live groups, want 8", total)
+	}
+}
+
+// TestWindowMergeRejections: sequence windows and mismatched options must
+// be rejected with the documented sentinels.
+func TestWindowMergeRejections(t *testing.T) {
+	opts := Options{Alpha: 1, Dim: 2, Seed: 3}
+	sa, _ := NewWindowSampler(opts, seqWin(16))
+	sb, _ := NewWindowSampler(opts, seqWin(16))
+	if err := sa.MergeFrom(sb); !errors.Is(err, ErrWindowMerge) {
+		t.Fatalf("sequence merge error = %v, want ErrWindowMerge", err)
+	}
+	ta, _ := NewWindowSampler(opts, timeWin(16))
+	other := opts
+	other.Seed = 4
+	tb, _ := NewWindowSampler(other, timeWin(16))
+	if err := ta.MergeFrom(tb); !errors.Is(err, ErrMergeOptions) {
+		t.Fatalf("mismatched-options merge error = %v, want ErrMergeOptions", err)
+	}
+	tc, _ := NewWindowSampler(opts, timeWin(32))
+	if err := ta.MergeFrom(tc); !errors.Is(err, ErrMergeOptions) {
+		t.Fatalf("mismatched-window merge error = %v, want ErrMergeOptions", err)
+	}
+	if err := ta.MergeFrom(ta); err == nil {
+		t.Fatal("self-merge succeeded")
+	}
+}
+
+// TestWindowProcessStampsTimeWindowsWithNow is the regression test for
+// mixing Process and ProcessAt on a time-based window: Process used to
+// stamp with the arrival index, so a point fed after ProcessAt(..., 1000)
+// carried stamp 2 and silently expired out of a width-10 window. Process
+// must stamp with the latest known time instead.
+func TestWindowProcessStampsTimeWindowsWithNow(t *testing.T) {
+	ws, err := NewWindowSampler(Options{Alpha: 1, Dim: 2, Seed: 7, Kappa: 64}, timeWin(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws.ProcessAt(geom.Point{0, 0}, 1000)
+	ws.Process(geom.Point{50, 0})          // must arrive at t=1000, not index 2
+	ws.ProcessAt(geom.Point{100, 0}, 1005) // expires nothing if the previous stamp was 1000
+	total := 0
+	for _, n := range ws.AcceptSizes() {
+		total += n
+	}
+	if total != 3 {
+		t.Fatalf("live groups after interleaved Process/ProcessAt: %d, want 3", total)
+	}
+	// The same interleaving via ProcessBatch.
+	ws.ProcessBatch([]geom.Point{{150, 0}, {200, 0}})
+	ws.ProcessAt(geom.Point{250, 0}, 1006)
+	total = 0
+	for _, n := range ws.AcceptSizes() {
+		total += n
+	}
+	if total != 6 {
+		t.Fatalf("live groups after batched interleaving: %d, want 6", total)
+	}
+}
+
+// TestWindowSamplerPartitionMergeRoundTrip: partitioning a time-window
+// sampler and folding the partitions back must reproduce the original
+// state exactly (exact regime).
+func TestWindowSamplerPartitionMergeRoundTrip(t *testing.T) {
+	const groups, steps = 30, 2000
+	pts, stamps := mergeStream(groups, steps)
+	opts := Options{Alpha: 1, Dim: 2, Seed: 31, StreamBound: steps + 1, Kappa: 64}
+	ws, err := NewWindowSampler(opts, timeWin(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws.ProcessStampedBatch(pts, stamps)
+
+	parts, err := ws.Partition(3, func(p geom.Point) int { return int(p[0]/10) % 3 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded := parts[0]
+	for _, p := range parts[1:] {
+		if err := folded.MergeFrom(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := folded.AcceptSizes(), ws.AcceptSizes(); len(got) != len(want) {
+		t.Fatalf("level count %d != %d", len(got), len(want))
+	} else {
+		for l := range got {
+			if got[l] != want[l] {
+				t.Fatalf("level %d accept size %d != original %d (all: %v vs %v)",
+					l, got[l], want[l], got, want)
+			}
+		}
+	}
+	if folded.SpaceWords() != ws.SpaceWords() {
+		t.Fatalf("folded space %d != original %d", folded.SpaceWords(), ws.SpaceWords())
+	}
+	// Sequence windows cannot be partitioned.
+	seq, _ := NewWindowSampler(opts, seqWin(16))
+	if _, err := seq.Partition(2, func(geom.Point) int { return 0 }); !errors.Is(err, ErrWindowMerge) {
+		t.Fatalf("sequence partition error = %v, want ErrWindowMerge", err)
+	}
+}

@@ -143,6 +143,10 @@ func (ws *WindowSampler) AcceptThreshold() int { return ws.opts.acceptThreshold(
 // Processed returns the number of points fed to the sampler.
 func (ws *WindowSampler) Processed() int64 { return ws.n }
 
+// Now returns the latest stamp the sampler has seen — the right edge of
+// the current window.
+func (ws *WindowSampler) Now() int64 { return ws.now }
+
 // OverflowErrors counts split cascades that ran past the top level — the
 // event Algorithm 3 reports as "error", which happens with probability at
 // most 1/m² per step (Lemma 2.8).
@@ -166,10 +170,23 @@ func (ws *WindowSampler) SpaceWords() int {
 // PeakSpaceWords returns the peak of the total across the stream.
 func (ws *WindowSampler) PeakSpaceWords() int { return ws.space.Peak() }
 
-// Process feeds the next point for a sequence-based window, stamping it
-// with its arrival index.
+// Process feeds the next point without an explicit stamp. For sequence
+// windows the point is stamped with its arrival index; for time windows it
+// is stamped with the latest timestamp seen so far ("arrives at the latest
+// known time") — stamping time windows with the arrival index would
+// conflate indices with timestamps when Process and ProcessAt calls are
+// interleaved, mass-expiring or immortalizing points.
 func (ws *WindowSampler) Process(p geom.Point) {
-	ws.ProcessAt(p, ws.n+1)
+	ws.ProcessAt(p, ws.nextStamp())
+}
+
+// nextStamp is the implicit stamp Process assigns: the next arrival index
+// for sequence windows, the current clock for time windows.
+func (ws *WindowSampler) nextStamp() int64 {
+	if ws.win.Kind == window.Time {
+		return ws.now
+	}
+	return ws.n + 1
 }
 
 // ProcessAt feeds the next point with an explicit stamp for time-based

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/window"
+)
+
+// windowSamplerState is the gob wire form of a WindowSampler. As with
+// samplerState, only dynamic state is stored: grid, hash function and RNG
+// are re-derived from Options.Seed, and cached cell keys and adjacency
+// lists are recomputed on load. The level structure itself is derived from
+// the window width, so the per-level entry lists are the whole expiry
+// state.
+type windowSamplerState struct {
+	Opts        Options
+	Win         window.Window
+	N           int64
+	Now         int64
+	Latest      []float64
+	LatestStamp int64
+	Overflow    int
+	SplitFail   int
+	Peak        int
+	Levels      [][]windowEntryState
+}
+
+// windowEntryState is one stored candidate group: entryState plus the
+// sliding-window augmentation (latest point, expiry stamps, and the
+// per-group window reservoir with its random priorities).
+type windowEntryState struct {
+	Rep       []float64
+	Accepted  bool
+	Stamp     int64
+	Count     int64
+	Pick      []float64
+	Last      []float64
+	LastStamp int64
+	Wres      []windowPickState
+}
+
+// windowPickState is one window-reservoir skyline item.
+type windowPickState struct {
+	Stamp int64
+	Prio  uint64
+	P     []float64
+}
+
+// MarshalBinary serializes the window sampler for checkpointing or
+// shipping; the counterpart is UnmarshalWindowSampler. Only time-based
+// windows have a wire format: a sequence window's expiry state is keyed to
+// one stream's arrival order and cannot be restored into any other
+// context (see docs/engine.md "Limitations"). Samplers built with a
+// custom Space are not serializable either.
+func (ws *WindowSampler) MarshalBinary() ([]byte, error) {
+	if ws.win.Kind != window.Time {
+		return nil, fmt.Errorf("%w: sequence-window samplers have no wire format (see docs/engine.md \"Limitations\")", ErrNotSerializable)
+	}
+	if ws.opts.Space != nil {
+		return nil, fmt.Errorf("%w: sketch was built with a custom Space", ErrNotSerializable)
+	}
+	st := windowSamplerState{
+		Opts:        ws.opts,
+		Win:         ws.win,
+		N:           ws.n,
+		Now:         ws.now,
+		Latest:      ws.latest,
+		LatestStamp: ws.latestStamp,
+		Overflow:    ws.overflowErrors,
+		SplitFail:   ws.splitFailures,
+		Peak:        ws.space.Peak(),
+		Levels:      make([][]windowEntryState, len(ws.levels)),
+	}
+	for l, lv := range ws.levels {
+		states := make([]windowEntryState, 0, lv.order.Len())
+		for el := lv.order.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*entry)
+			es := windowEntryState{
+				Rep:       e.rep,
+				Accepted:  e.accepted,
+				Stamp:     e.stamp,
+				Count:     e.count,
+				Pick:      e.pick,
+				Last:      e.last,
+				LastStamp: e.lastStamp,
+			}
+			if len(e.wres) > 0 {
+				es.Wres = make([]windowPickState, len(e.wres))
+				for i, wp := range e.wres {
+					es.Wres[i] = windowPickState{Stamp: wp.stamp, Prio: wp.prio, P: wp.p}
+				}
+			}
+			states = append(states, es)
+		}
+		st.Levels[l] = states
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("core: encoding window sketch: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalWindowSampler reconstructs a WindowSampler from MarshalBinary
+// output. Grid, hash function and query RNG are re-derived from the
+// serialized seed, so the restored sampler ingests identically to the
+// original; query randomness is statistically equivalent rather than
+// bit-identical, matching UnmarshalSampler.
+func UnmarshalWindowSampler(data []byte) (*WindowSampler, error) {
+	var st windowSamplerState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("core: decoding window sketch: %w", err)
+	}
+	if st.Win.Kind != window.Time {
+		return nil, fmt.Errorf("core: corrupt window sketch: kind %v is not serializable", st.Win.Kind)
+	}
+	ws, err := NewWindowSampler(st.Opts, st.Win)
+	if err != nil {
+		return nil, fmt.Errorf("core: restoring window sketch: %w", err)
+	}
+	if len(st.Levels) != len(ws.levels) {
+		return nil, fmt.Errorf("core: corrupt window sketch: %d levels for window width %d (want %d)",
+			len(st.Levels), st.Win.W, len(ws.levels))
+	}
+	ws.n = st.N
+	ws.now = st.Now
+	if len(st.Latest) > 0 {
+		ws.latest = geom.Point(st.Latest)
+	}
+	ws.latestStamp = st.LatestStamp
+	ws.overflowErrors = st.Overflow
+	ws.splitFailures = st.SplitFail
+	for l, states := range st.Levels {
+		lv := ws.levels[l]
+		lv.now = st.Now
+		for _, es := range states {
+			if len(es.Rep) != ws.opts.Dim {
+				return nil, fmt.Errorf("core: corrupt window sketch: entry dimension %d, want %d",
+					len(es.Rep), ws.opts.Dim)
+			}
+			rep := geom.Point(es.Rep)
+			e := &entry{
+				rep:       rep,
+				cell:      ws.spc.Cell(rep),
+				adj:       ws.spc.Adjacent(rep),
+				accepted:  es.Accepted,
+				stamp:     es.Stamp,
+				count:     es.Count,
+				pick:      es.Pick,
+				last:      es.Last,
+				lastStamp: es.LastStamp,
+			}
+			if len(es.Wres) > 0 {
+				e.wres = make([]windowPick, len(es.Wres))
+				for i, wp := range es.Wres {
+					e.wres[i] = windowPick{stamp: wp.Stamp, prio: wp.Prio, p: wp.P}
+				}
+			}
+			// Re-validate the classification against the re-derived hash at
+			// this level's rate: a sketch serialized under different options
+			// fails here instead of silently mis-sampling.
+			own := ws.ls.SampledAt(uint64(e.cell), lv.r)
+			if e.accepted != own || (!own && !ws.anySampledAt(e.adj, lv.r)) {
+				return nil, fmt.Errorf("core: window sketch inconsistent with options (level %d entry %v)", l, rep)
+			}
+			lv.insert(e)
+		}
+	}
+	ws.trackSpace()
+	if st.Peak > ws.space.peak {
+		ws.space.peak = st.Peak
+	}
+	return ws, nil
+}

@@ -3,11 +3,13 @@ package engine
 // Engine-level checkpoint/restore. A checkpoint drains the engine and
 // serializes every shard's sketch through the pkg/sketch versioned
 // envelope, together with the ingest counters, into a single versioned
-// stream. Restoring requires an engine built with the same sketch
-// options, seed, and shard count — the grid router is derived
-// deterministically from those, so shard i's checkpointed sketch is
-// exactly the sketch that shard i's future traffic belongs to. The file
-// format is documented in docs/server.md.
+// stream. Restoring requires an engine built with the same sketch options
+// and seed — the grid router is derived deterministically from those.
+// With the same shard count, shard i's checkpointed sketch is exactly the
+// sketch shard i's future traffic belongs to; with a different shard
+// count, every checkpointed entry is re-routed through the router onto
+// its new home shard (sketch.Partitionable). The file format is
+// documented in docs/server.md.
 
 import (
 	"bytes"
@@ -17,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/geom"
 	"repro/pkg/sketch"
 )
 
@@ -111,10 +114,13 @@ func (e *Engine) CheckpointFile(path string) (size, points int64, err error) {
 
 // Restore replaces the engine's state with a checkpoint previously
 // written by Checkpoint. The engine must have been built with the same
-// sketch options, seed, and shard count as the checkpointed one, and must
-// not have ingested any points yet; both are enforced (shard count
-// structurally, emptiness by counter, matching options by the sketch
-// decoders' consistency checks where the family supports them).
+// sketch options and seed as the checkpointed one, and must not have
+// ingested any points yet (emptiness is enforced by counter, matching
+// options by the sketch decoders' consistency checks where the family
+// supports them). The shard count may differ: a checkpoint from an
+// N-shard engine loads into an M-shard engine by re-routing every
+// checkpointed entry through the engine's router (see restoreResharded),
+// with identical query results.
 func (e *Engine) Restore(r io.Reader) error {
 	if e.enqueued.Load() != 0 {
 		return fmt.Errorf("engine: Restore into an engine that has already ingested points")
@@ -133,13 +139,12 @@ func (e *Engine) Restore(r io.Reader) error {
 	if err := gob.NewDecoder(r).Decode(&st); err != nil {
 		return fmt.Errorf("engine: reading checkpoint: %w", err)
 	}
-	if st.Shards != len(e.shards) {
-		return fmt.Errorf("engine: checkpoint has %d shards, engine has %d (rebuild the engine with -shards %d)",
-			st.Shards, len(e.shards), st.Shards)
-	}
 	if len(st.Sketches) != st.Shards || len(st.PerShard) != st.Shards {
 		return fmt.Errorf("engine: corrupt checkpoint: %d blobs / %d counters for %d shards",
 			len(st.Sketches), len(st.PerShard), st.Shards)
+	}
+	if st.Shards != len(e.shards) {
+		return e.restoreResharded(st)
 	}
 	restored := make([]sketch.Sketch, st.Shards)
 	for i, blob := range st.Sketches {
@@ -155,6 +160,88 @@ func (e *Engine) Restore(r io.Reader) error {
 		sh.mu.Unlock()
 		sh.done.Store(st.PerShard[i])
 	}
+	e.seedClock(restored)
+	e.enqueued.Store(st.Enqueued)
+	e.epoch.Add(1) // invalidate any cached snapshot
+	return nil
+}
+
+// seedClock advances the engine-global clock of a time-windowed engine
+// to the latest stamp across the restored shard sketches, so unstamped
+// ingest after a restore keeps arriving "now" instead of at stamp 0.
+func (e *Engine) seedClock(restored []sketch.Sketch) {
+	if !e.stamped {
+		return
+	}
+	for _, sk := range restored {
+		if st, ok := sk.(sketch.Stamped); ok {
+			if now := st.Now(); now > e.lastStamp.Load() {
+				e.lastStamp.Store(now)
+			}
+		}
+	}
+}
+
+// restoreResharded loads a checkpoint taken with a different shard count.
+// The checkpointed sketches are first folded into one merged sketch —
+// exactly the fold a snapshot query of the checkpointed engine would have
+// produced — and the merged state is then partitioned once through the
+// engine's router: every stored group lands on the shard its
+// representative's routing-cell hash selects, exactly where that group's
+// future traffic will arrive. Because the partitions are disjoint and
+// level-preserving, re-folding them at query time reconstructs the merged
+// sketch verbatim, so the restored engine answers identically to a
+// same-shard-count restore. Requires the checkpointed family to implement
+// sketch.Partitionable and sketch.Mergeable (the l0/f0 families and their
+// time-window variants all do). The per-shard processed counters cannot
+// be re-derived from the blobs, so the checkpointed total is spread
+// evenly across shards; Enqueued stays exact.
+func (e *Engine) restoreResharded(st checkpointState) error {
+	m := len(e.shards)
+	route := func(p geom.Point) int {
+		return int(e.cfg.Router.Route(p) % uint64(m))
+	}
+	fresh, err := e.cfg.New(-1)
+	if err != nil {
+		return fmt.Errorf("engine: building re-sharding accumulator: %w", err)
+	}
+	acc, ok := fresh.(sketch.Mergeable)
+	if !ok {
+		return fmt.Errorf("engine: %T is not mergeable; re-sharding a checkpoint needs sketch.Mergeable", fresh)
+	}
+	for i, blob := range st.Sketches {
+		s, err := sketch.Deserialize(blob)
+		if err != nil {
+			return fmt.Errorf("engine: restoring shard %d: %w", i, err)
+		}
+		if err := acc.Merge(s); err != nil {
+			return fmt.Errorf("engine: folding checkpoint shard %d: %w", i, err)
+		}
+	}
+	p, ok := acc.(sketch.Partitionable)
+	if !ok {
+		return fmt.Errorf("engine: checkpoint has %d shards, engine has %d, and %T cannot be re-sharded (rebuild the engine with -shards %d)",
+			st.Shards, m, acc, st.Shards)
+	}
+	targets, err := p.Partition(m, route)
+	if err != nil {
+		return fmt.Errorf("engine: re-sharding checkpoint: %w", err)
+	}
+	var total int64
+	for _, n := range st.PerShard {
+		total += n
+	}
+	for j, sh := range e.shards {
+		per := total / int64(m)
+		if int64(j) < total%int64(m) {
+			per++
+		}
+		sh.mu.Lock()
+		sh.sk = targets[j]
+		sh.mu.Unlock()
+		sh.done.Store(per)
+	}
+	e.seedClock(targets)
 	e.enqueued.Store(st.Enqueued)
 	e.epoch.Add(1) // invalidate any cached snapshot
 	return nil

@@ -182,14 +182,27 @@ func TestCheckpointFileAndRestoreErrors(t *testing.T) {
 		t.Fatal("Restore into a non-empty engine succeeded")
 	}
 
-	// Restore into an engine with a different shard count must fail.
+	// Restore into an engine with a different shard count re-routes the
+	// checkpointed entries and must answer identically (see also
+	// TestRestoreReshard).
 	other, err := NewSamplerEngine(opts, Config{Shards: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer other.Close()
-	if err := other.RestoreFile(path); err == nil {
-		t.Fatal("Restore with mismatched shard count succeeded")
+	if err := other.RestoreFile(path); err != nil {
+		t.Fatalf("re-sharding restore: %v", err)
+	}
+	want2, err := eng.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := other.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Estimate != want2.Estimate {
+		t.Fatalf("re-sharded estimate %g != original %g", got2.Estimate, want2.Estimate)
 	}
 
 	// Foreign bytes must be rejected on the magic check.

@@ -35,11 +35,15 @@ import (
 )
 
 // ErrWindowedSharding is returned (or wrapped) when a caller asks to shard
-// a sliding-window sketch: the engine's merged-snapshot queries need
-// sketch.Mergeable, which the window sketches do not implement, and the
-// per-shard arrival indices would disagree with the sequential window
-// anyway. See docs/engine.md ("Limitations") for the full story.
-var ErrWindowedSharding = errors.New("engine: sliding-window sketches cannot be sharded")
+// a sequence-based sliding-window sketch: a sequence window of width W is
+// defined over the global arrival index, so after routing each shard would
+// expire points against its own local index, and the per-stream indices do
+// not compose into a union (the window sketches are not Mergeable for
+// Kind == Sequence). Time-based windows expire by timestamp — a property
+// of the point, not the stream — and shard fine: use window.Time
+// (NewWindowSamplerEngine / NewWindowF0Engine). See docs/engine.md
+// ("Limitations") for the full story.
+var ErrWindowedSharding = errors.New("engine: sequence-window sketches cannot be sharded")
 
 // Config configures an Engine.
 type Config struct {
@@ -97,8 +101,9 @@ type Stats struct {
 }
 
 type batch struct {
-	pts []geom.Point
-	ack chan struct{} // non-nil on drain markers; closed when reached
+	pts    []geom.Point
+	stamps []int64       // non-nil on stamped batches: stamps[i] stamps pts[i]
+	ack    chan struct{} // non-nil on drain markers; closed when reached
 }
 
 type shard struct {
@@ -133,6 +138,17 @@ type Engine struct {
 	snapValid  bool
 	snapHits   atomic.Int64
 	snapMisses atomic.Int64
+
+	// stamped records whether the shard sketches implement sketch.Stamped
+	// (time-window sketches); ProcessAt/ProcessStampedBatch require it.
+	stamped bool
+
+	// lastStamp is the engine-global latest timestamp (stamped engines
+	// only). Unstamped Process/ProcessBatch stamp points with it — the
+	// per-shard sketch clocks lag behind whenever a shard has not seen
+	// recent traffic, so stamping with a shard-local clock would expire
+	// just-ingested points at snapshot-merge time.
+	lastStamp atomic.Int64
 }
 
 // New builds and starts an engine: constructs one sketch per shard and
@@ -158,6 +174,7 @@ func New(cfg Config) (*Engine, error) {
 		}
 		e.shards[i] = &shard{ch: make(chan batch, cfg.QueueDepth), sk: sk}
 	}
+	_, e.stamped = e.shards[0].sk.(sketch.Stamped)
 	e.wg.Add(len(e.shards))
 	for _, sh := range e.shards {
 		go e.worker(sh)
@@ -170,7 +187,11 @@ func (e *Engine) worker(sh *shard) {
 	for b := range sh.ch {
 		if len(b.pts) > 0 {
 			sh.mu.Lock()
-			sh.sk.ProcessBatch(b.pts)
+			if b.stamps != nil {
+				sh.sk.(sketch.Stamped).ProcessStampedBatch(b.pts, b.stamps)
+			} else {
+				sh.sk.ProcessBatch(b.pts)
+			}
 			// done is bumped under mu so that anyone holding the lock
 			// (Checkpoint) sees a counter consistent with the sketch.
 			sh.done.Add(int64(len(b.pts)))
@@ -193,8 +214,14 @@ func (e *Engine) shardOf(p geom.Point) *shard {
 // Process feeds one stream point. Points accumulate in a per-shard
 // pending buffer and are shipped to the worker one batch at a time; call
 // Flush (or Query/Snapshot/Close, which flush) to push out a partial
-// batch. Process must not be called after Close.
+// batch. On a time-windowed engine the point arrives at the engine's
+// latest known timestamp (see ProcessStampedBatch) and ships
+// immediately. Process must not be called after Close.
 func (e *Engine) Process(p geom.Point) {
+	if e.stamped {
+		e.ProcessStampedBatch([]geom.Point{p}, []int64{e.lastStamp.Load()})
+		return
+	}
 	if e.closed.Load() {
 		panic("engine: Process after Close")
 	}
@@ -234,6 +261,20 @@ func (e *Engine) ProcessBatch(ps []geom.Point) {
 	if len(ps) == 0 {
 		return
 	}
+	if e.stamped {
+		// Unstamped ingest into a time-windowed engine: the whole batch
+		// arrives at the engine-global latest timestamp. Stamping with the
+		// receiving shards' local clocks instead would backdate points on
+		// shards that have not seen recent traffic and silently expire them
+		// at snapshot-merge time.
+		stamps := make([]int64, len(ps))
+		now := e.lastStamp.Load()
+		for i := range stamps {
+			stamps[i] = now
+		}
+		e.ProcessStampedBatch(ps, stamps)
+		return
+	}
 	if e.closed.Load() {
 		panic("engine: ProcessBatch after Close")
 	}
@@ -262,6 +303,74 @@ func (e *Engine) ProcessBatch(ps []geom.Point) {
 	}
 	// Bumped after enqueueing, for the reason documented in Process.
 	e.epoch.Add(1)
+}
+
+// ProcessStampedBatch feeds a batch of explicitly stamped points to a
+// time-windowed engine: stamps[i] is the timestamp of ps[i], and stamps
+// must be non-decreasing per producer. The batch is partitioned by the
+// router exactly like ProcessBatch — expiry is a per-point property of
+// the stamp, so shard-local expiry plus the merged snapshot equals the
+// sequential window sampler. Panics when the configured sketches do not
+// implement sketch.Stamped (build the engine with NewWindowSamplerEngine
+// or NewWindowF0Engine over a time-based window).
+func (e *Engine) ProcessStampedBatch(ps []geom.Point, stamps []int64) {
+	if len(ps) == 0 {
+		return
+	}
+	if len(ps) != len(stamps) {
+		panic("engine: ProcessStampedBatch: len(ps) != len(stamps)")
+	}
+	if e.closed.Load() {
+		panic("engine: ProcessStampedBatch after Close")
+	}
+	if !e.stamped {
+		panic("engine: ProcessStampedBatch on an engine whose sketches are not time-windowed (sketch.Stamped)")
+	}
+	// Advance the engine-global clock to the batch's latest stamp (stamps
+	// are non-decreasing within a batch). CAS-max: concurrent producers
+	// may race, and the clock must never move backwards.
+	for latest := stamps[len(stamps)-1]; ; {
+		cur := e.lastStamp.Load()
+		if latest <= cur || e.lastStamp.CompareAndSwap(cur, latest) {
+			break
+		}
+	}
+	e.enqueued.Add(int64(len(ps)))
+	buckets := make([][]geom.Point, len(e.shards))
+	stampBuckets := make([][]int64, len(e.shards))
+	for k, p := range ps {
+		i := e.cfg.Router.Route(p) % uint64(len(e.shards))
+		b := buckets[i]
+		if b == nil {
+			e.flushShard(e.shards[i])
+			b = e.getBuf()
+		}
+		b = append(b, p)
+		stampBuckets[i] = append(stampBuckets[i], stamps[k])
+		if len(b) >= e.cfg.BatchSize {
+			e.shards[i].ch <- batch{pts: b, stamps: stampBuckets[i]}
+			b = e.getBuf()
+			stampBuckets[i] = nil
+		}
+		buckets[i] = b
+	}
+	for i, b := range buckets {
+		if len(b) > 0 {
+			e.shards[i].ch <- batch{pts: b, stamps: stampBuckets[i]}
+		} else if b != nil {
+			e.putBuf(b)
+		}
+	}
+	// Bumped after enqueueing, for the reason documented in Process.
+	e.epoch.Add(1)
+}
+
+// ProcessAt feeds one explicitly stamped point to a time-windowed engine.
+// Unlike Process it does not buffer: the point ships to its shard
+// immediately, so high-rate stamped producers should prefer
+// ProcessStampedBatch.
+func (e *Engine) ProcessAt(p geom.Point, stamp int64) {
+	e.ProcessStampedBatch([]geom.Point{p}, []int64{stamp})
 }
 
 func (e *Engine) flushShard(sh *shard) {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/hash"
+	"repro/internal/window"
 	"repro/pkg/sketch"
 )
 
@@ -102,6 +103,67 @@ func NewF0Engine(opts core.Options, eps float64, copies int, cfg Config) (*Engin
 	}
 	if cfg.New == nil {
 		cfg.New = func(int) (sketch.Sketch, error) { return sketch.NewF0(opts, eps, copies) }
+	}
+	return New(cfg)
+}
+
+// checkWindowedSharding admits only time-based windows into the engine:
+// sequence windows expire by the global arrival index, which shard-local
+// streams cannot reproduce, and their sketches are not Mergeable.
+func checkWindowedSharding(win window.Window) error {
+	if err := win.Validate(); err != nil {
+		return err
+	}
+	if win.Kind != window.Time {
+		return fmt.Errorf("%w: a %v window expires by global arrival index; use window.Time, or run the sampler single-threaded (see docs/engine.md \"Limitations\")",
+			ErrWindowedSharding, win.Kind)
+	}
+	return nil
+}
+
+// NewWindowSamplerEngine builds an engine whose shards run sliding-window
+// robust ℓ0-samplers (sketch.WindowL0) over a time-based window with
+// identical options, plus a default grid router derived from the same
+// options. Feed it through ProcessStampedBatch/ProcessAt (explicit
+// timestamps) or Process/ProcessBatch ("arrives at the latest known
+// time"); queries are answered from the merged snapshot, whose window
+// right edge is the latest stamp across shards. Sequence windows return
+// ErrWindowedSharding.
+func NewWindowSamplerEngine(opts core.Options, win window.Window, cfg Config) (*Engine, error) {
+	if err := checkWindowedSharding(win); err != nil {
+		return nil, err
+	}
+	if cfg.Router == nil {
+		r, err := NewRouterFromOptions(opts)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Router = r
+	}
+	if cfg.New == nil {
+		cfg.New = func(int) (sketch.Sketch, error) { return sketch.NewWindowL0(opts, win) }
+	}
+	return New(cfg)
+}
+
+// NewWindowF0Engine builds an engine whose shards run sliding-window
+// robust F0 estimators (sketch.WindowF0) over a time-based window with
+// identical options, mergeable copy by copy, plus a default grid router
+// derived from the same options. Sequence windows return
+// ErrWindowedSharding.
+func NewWindowF0Engine(opts core.Options, win window.Window, eps float64, cfg Config) (*Engine, error) {
+	if err := checkWindowedSharding(win); err != nil {
+		return nil, err
+	}
+	if cfg.Router == nil {
+		r, err := NewRouterFromOptions(opts)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Router = r
+	}
+	if cfg.New == nil {
+		cfg.New = func(int) (sketch.Sketch, error) { return sketch.NewWindowF0(opts, win, eps) }
 	}
 	return New(cfg)
 }

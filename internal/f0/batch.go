@@ -26,6 +26,15 @@ func (we *WindowEstimator) ProcessBatch(ps []geom.Point) {
 	}
 }
 
+// ProcessStampedBatch feeds a batch of explicitly stamped points to every
+// window-sampler copy, copy-major: stamps[i] is the timestamp of ps[i],
+// non-decreasing (time-based windows; the sharded engine's fast path).
+func (we *WindowEstimator) ProcessStampedBatch(ps []geom.Point, stamps []int64) {
+	for _, c := range we.copies {
+		c.ProcessStampedBatch(ps, stamps)
+	}
+}
+
 // Merge combines another InfiniteEstimator built with the same options
 // into e, producing the estimator of the concatenated stream. This is the
 // distributed/sharded setting: estimate F0 of a union of streams from

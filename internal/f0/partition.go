@@ -1,0 +1,48 @@
+package f0
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Partition splits the estimator stack across n fresh stacks: copy i of
+// partition j is the shard(rep)-routed partition of copy i, so merging
+// the partitions back copy by copy reproduces the original estimator.
+// Used by engine.Restore to load checkpoints across shard counts.
+func (m *Median) Partition(n int, shard func(p geom.Point) int) ([]*Median, error) {
+	parts := make([]*Median, n)
+	for j := range parts {
+		parts[j] = &Median{copies: make([]*InfiniteEstimator, len(m.copies))}
+	}
+	for i, c := range m.copies {
+		sub, err := c.s.Partition(n, shard)
+		if err != nil {
+			return nil, fmt.Errorf("f0: partitioning copy %d: %w", i, err)
+		}
+		for j, s := range sub {
+			parts[j].copies[i] = &InfiniteEstimator{s: s, eps: c.eps}
+		}
+	}
+	return parts, nil
+}
+
+// Partition splits the window-estimator stack across n fresh stacks,
+// copy by copy (time-based windows only; see core.WindowSampler.Partition).
+func (we *WindowEstimator) Partition(n int, shard func(p geom.Point) int) ([]*WindowEstimator, error) {
+	parts := make([]*WindowEstimator, n)
+	for j := range parts {
+		parts[j] = &WindowEstimator{copies: make([]*core.WindowSampler, len(we.copies))}
+	}
+	for i, c := range we.copies {
+		sub, err := c.Partition(n, shard)
+		if err != nil {
+			return nil, fmt.Errorf("f0: partitioning window copy %d: %w", i, err)
+		}
+		for j, ws := range sub {
+			parts[j].copies[i] = ws
+		}
+	}
+	return parts, nil
+}

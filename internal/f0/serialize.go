@@ -35,6 +35,57 @@ func (m *Median) MarshalBinary() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// windowEstimatorState is the gob wire form of a WindowEstimator: the
+// per-copy window samplers carry their own options (including derived
+// seeds) and window, so the copy blobs are the whole state.
+type windowEstimatorState struct {
+	Copies [][]byte
+}
+
+// MarshalBinary serializes the window-estimator stack for checkpointing;
+// the counterpart is UnmarshalWindowEstimator. Only time-based windows
+// have a wire format (see core.WindowSampler.MarshalBinary).
+func (we *WindowEstimator) MarshalBinary() ([]byte, error) {
+	st := windowEstimatorState{Copies: make([][]byte, len(we.copies))}
+	for i, c := range we.copies {
+		blob, err := c.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("f0: encoding window copy %d: %w", i, err)
+		}
+		st.Copies[i] = blob
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("f0: encoding window estimator: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalWindowEstimator reconstructs a WindowEstimator from
+// MarshalBinary output.
+func UnmarshalWindowEstimator(data []byte) (*WindowEstimator, error) {
+	var st windowEstimatorState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("f0: decoding window estimator: %w", err)
+	}
+	if len(st.Copies) == 0 {
+		return nil, fmt.Errorf("f0: corrupt window estimator: no copies")
+	}
+	we := &WindowEstimator{copies: make([]*core.WindowSampler, len(st.Copies))}
+	for i, blob := range st.Copies {
+		ws, err := core.UnmarshalWindowSampler(blob)
+		if err != nil {
+			return nil, fmt.Errorf("f0: decoding window copy %d: %w", i, err)
+		}
+		if i > 0 && ws.Window() != we.copies[0].Window() {
+			return nil, fmt.Errorf("f0: corrupt window estimator: copy %d window %v != copy 0 window %v",
+				i, ws.Window(), we.copies[0].Window())
+		}
+		we.copies[i] = ws
+	}
+	return we, nil
+}
+
 // UnmarshalMedian reconstructs a Median from MarshalBinary output.
 func UnmarshalMedian(data []byte) (*Median, error) {
 	var st medianState

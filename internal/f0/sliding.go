@@ -63,6 +63,10 @@ func NewWindowEstimator(opts core.Options, win window.Window, eps float64, kappa
 // Copies returns the number of independent window samplers.
 func (we *WindowEstimator) Copies() int { return len(we.copies) }
 
+// Now returns the latest stamp seen — the window's right edge (every
+// copy observes the same stream, so copy 0's clock is the clock).
+func (we *WindowEstimator) Now() int64 { return we.copies[0].Now() }
+
 // Process feeds the next point (sequence-based windows).
 func (we *WindowEstimator) Process(p geom.Point) {
 	for _, c := range we.copies {
@@ -76,6 +80,23 @@ func (we *WindowEstimator) ProcessAt(p geom.Point, stamp int64) {
 	for _, c := range we.copies {
 		c.ProcessAt(p, stamp)
 	}
+}
+
+// Merge combines another WindowEstimator built with the same options,
+// window, and root seed into we, copy by copy — the sharded/distributed
+// setting for time-based windows. Sequence windows are rejected with
+// core.ErrWindowMerge (arrival indices do not compose).
+func (we *WindowEstimator) Merge(o *WindowEstimator) error {
+	if len(we.copies) != len(o.copies) {
+		return fmt.Errorf("f0: merging window estimators with different copy counts (%d vs %d)",
+			len(we.copies), len(o.copies))
+	}
+	for i := range we.copies {
+		if err := we.copies[i].MergeFrom(o.copies[i]); err != nil {
+			return fmt.Errorf("f0: merging window copy %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // Estimate returns φ·T·2^ℓ̄ where ℓ̄ averages, over copies, the largest

@@ -63,6 +63,18 @@ func ParsePoint(text string, dim int) (geom.Point, error) {
 	return p, nil
 }
 
+// IndexStamps returns the stamps 1..n — the arrival-index-as-timestamp
+// convention the CLIs use to run time-window sketches over point
+// streams that carry no timestamps of their own (a time window of width
+// W then holds exactly the last W points).
+func IndexStamps(n int) []int64 {
+	stamps := make([]int64, n)
+	for i := range stamps {
+		stamps[i] = int64(i + 1)
+	}
+	return stamps
+}
+
 // WritePoints renders points one per line with space-separated
 // coordinates, the inverse of ReadPoints.
 func WritePoints(w io.Writer, pts []geom.Point) error {

@@ -13,6 +13,12 @@
 // fetches the serialized snapshots of many sketchd peers, Deserializes
 // them, and folds them with Mergeable.Merge into one logical sketch.
 //
+// A Windowed server fronts a time-windowed engine: ingest batches are
+// stamped (X-Sketch-Stamp header, or the server clock in Unix seconds)
+// and queries answer over the current sliding window. Windowed snapshots
+// serialize and merge like every other family, so windowed daemons
+// federate through the gateway unchanged.
+//
 // The handler is an http.Handler; the caller owns the http.Server and the
 // engine's lifecycle (cmd/sketchd wires up graceful shutdown and startup
 // -restore). Endpoint and wire-format details live in docs/server.md.
@@ -60,7 +66,26 @@ type Config struct {
 	// before the server was built; surfaced in GET /stats so operators can
 	// tell a restore from a cold start.
 	Restored bool
+
+	// Windowed marks the engine's sketches as time-windowed: every ingest
+	// batch is stamped — with the X-Sketch-Stamp request header when the
+	// client provides one, with Clock otherwise — and handed to
+	// Engine.ProcessStampedBatch. Client stamps should be non-decreasing;
+	// points stamped further than the window width behind the latest stamp
+	// expire immediately (late data beyond the window is dropped).
+	Windowed bool
+
+	// Clock returns the stamp assigned to ingest requests without an
+	// explicit X-Sketch-Stamp header. Defaults to Unix seconds — the
+	// window width is then a duration in seconds over ingest time. Only
+	// consulted when Windowed.
+	Clock func() int64
 }
+
+// StampHeader is the ingest request header carrying the batch's explicit
+// timestamp on windowed daemons (decimal int64; one stamp for the whole
+// batch). The cluster gateway forwards it unchanged when routing.
+const StampHeader = "X-Sketch-Stamp"
 
 // Server is the HTTP front end. All handlers are safe for concurrent use;
 // ingest and query scale independently (queries hit the engine's snapshot
@@ -84,6 +109,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 64 << 20
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = func() int64 { return time.Now().Unix() }
 	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
@@ -138,6 +166,9 @@ type StatsResponse struct {
 	// PointsIngested counts points accepted over HTTP (TotalPoints may be
 	// larger after a -restore, which also restores the engine counters).
 	PointsIngested int64 `json:"points_ingested"`
+	// Windowed reports whether this daemon serves time-windowed sketches
+	// (ingest batches are stamped; queries answer over the current window).
+	Windowed bool `json:"windowed"`
 }
 
 // CheckpointResponse is the JSON body of a successful POST /checkpoint.
@@ -183,12 +214,39 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.cfg.Engine.ProcessBatch(pts)
+	if s.cfg.Windowed {
+		stamp, err := ingestStamp(r, s.cfg.Clock)
+		if err != nil {
+			WriteError(w, http.StatusBadRequest, err)
+			return
+		}
+		stamps := make([]int64, len(pts))
+		for i := range stamps {
+			stamps[i] = stamp
+		}
+		s.cfg.Engine.ProcessStampedBatch(pts, stamps)
+	} else {
+		s.cfg.Engine.ProcessBatch(pts)
+	}
 	s.pointsIngested.Add(int64(len(pts)))
 	WriteJSON(w, http.StatusOK, IngestResponse{
 		Ingested:    len(pts),
 		TotalPoints: s.cfg.Engine.Enqueued(),
 	})
+}
+
+// ingestStamp resolves the timestamp of one windowed ingest batch: the
+// client's X-Sketch-Stamp header when present, the server clock otherwise.
+func ingestStamp(r *http.Request, clock func() int64) (int64, error) {
+	h := r.Header.Get(StampHeader)
+	if h == "" {
+		return clock(), nil
+	}
+	v, err := strconv.ParseInt(h, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("server: bad %s %q: %w", StampHeader, h, err)
+	}
+	return v, nil
 }
 
 // ParseK extracts the ?k= multi-sample parameter of a query request
@@ -320,6 +378,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		RestoredFromCheckpoint: s.cfg.Restored,
 		IngestRequests:         s.ingestRequests.Load(),
 		PointsIngested:         s.pointsIngested.Load(),
+		Windowed:               s.cfg.Windowed,
 	})
 }
 

@@ -33,6 +33,19 @@ func (k Kind) String() string {
 	}
 }
 
+// ParseKind parses the textual form of a Kind ("sequence" or "time") —
+// the one convention shared by every -window-kind CLI flag.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "sequence":
+		return Sequence, nil
+	case "time":
+		return Time, nil
+	default:
+		return 0, fmt.Errorf("window: unknown kind %q (want sequence or time)", s)
+	}
+}
+
 // Window is a sliding window specification: semantics plus width.
 type Window struct {
 	Kind Kind

@@ -86,13 +86,31 @@ func (e *F0) Merge(other Sketch) error {
 	return e.m.Merge(o.m)
 }
 
+// Partition splits the estimator into n fresh F0 sketches, copy by copy
+// (see Partitionable).
+func (e *F0) Partition(n int, shard func(p geom.Point) int) ([]Sketch, error) {
+	parts, err := e.m.Partition(n, shard)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Sketch, n)
+	for i, p := range parts {
+		out[i] = &F0{m: p}
+	}
+	return out, nil
+}
+
 // WindowF0 is the sliding-window robust distinct-count estimator behind
-// the unified interface.
+// the unified interface. Time-window estimators are Mergeable and
+// serializable; sequence windows are not (see WindowL0).
 type WindowF0 struct {
 	we *f0.WindowEstimator
 }
 
-var _ Sketch = (*WindowF0)(nil)
+var (
+	_ Mergeable = (*WindowF0)(nil)
+	_ Stamped   = (*WindowF0)(nil)
+)
 
 // NewWindowF0 builds a sliding-window robust F0 estimator with target
 // accuracy (1±eps).
@@ -115,8 +133,17 @@ func (e *WindowF0) Process(p geom.Point) { e.we.Process(p) }
 // windows).
 func (e *WindowF0) ProcessAt(p geom.Point, stamp int64) { e.we.ProcessAt(p, stamp) }
 
+// ProcessStampedBatch feeds a batch of explicitly stamped points,
+// copy-major (time-based windows): stamps[i] is the timestamp of ps[i].
+func (e *WindowF0) ProcessStampedBatch(ps []geom.Point, stamps []int64) {
+	e.we.ProcessStampedBatch(ps, stamps)
+}
+
 // ProcessBatch feeds a batch of points, copy-major.
 func (e *WindowF0) ProcessBatch(ps []geom.Point) { e.we.ProcessBatch(ps) }
+
+// Now returns the latest stamp seen — the window's right edge.
+func (e *WindowF0) Now() int64 { return e.we.Now() }
 
 // Query returns the estimated number of distinct groups with a point in
 // the current window.
@@ -131,5 +158,56 @@ func (e *WindowF0) Query() (Result, error) {
 // Space returns the live sketch words summed over copies.
 func (e *WindowF0) Space() int { return e.we.SpaceWords() }
 
-// Serialize is unsupported for window sketches.
-func (e *WindowF0) Serialize() ([]byte, error) { return nil, ErrNotSerializable }
+// Serialize encodes every window-sampler copy in the versioned envelope
+// format; restore with RestoreWindowF0 or the family-agnostic
+// Deserialize. Sequence windows and estimators over a custom Space
+// return ErrNotSerializable.
+func (e *WindowF0) Serialize() ([]byte, error) {
+	payload, err := e.we.MarshalBinary()
+	if err != nil {
+		return nil, mapCoreSerializeErr(err)
+	}
+	return encodeEnvelope(KindWindowF0, payload), nil
+}
+
+// RestoreWindowF0 reconstructs a serialized WindowF0 sketch from
+// Serialize output.
+func RestoreWindowF0(data []byte) (*WindowF0, error) {
+	k, payload, err := decodeEnvelope(data)
+	if err != nil {
+		return nil, err
+	}
+	if k != KindWindowF0 {
+		return nil, fmt.Errorf("sketch: serialized sketch is %v, not windowf0", k)
+	}
+	we, err := f0.UnmarshalWindowEstimator(payload)
+	if err != nil {
+		return nil, err
+	}
+	return &WindowF0{we: we}, nil
+}
+
+// Merge unions another WindowF0 built with identical options, window, and
+// seed into e, copy by copy; the other sketch is left intact. Sequence
+// windows return core.ErrWindowMerge (see WindowL0.Merge).
+func (e *WindowF0) Merge(other Sketch) error {
+	o, ok := other.(*WindowF0)
+	if !ok {
+		return fmt.Errorf("%w: cannot merge %T into *sketch.WindowF0", ErrIncompatible, other)
+	}
+	return e.we.Merge(o.we)
+}
+
+// Partition splits the window estimator into n fresh WindowF0 sketches,
+// copy by copy (time-based windows only; see Partitionable).
+func (e *WindowF0) Partition(n int, shard func(p geom.Point) int) ([]Sketch, error) {
+	parts, err := e.we.Partition(n, shard)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Sketch, n)
+	for i, p := range parts {
+		out[i] = &WindowF0{we: p}
+	}
+	return out, nil
+}

@@ -103,15 +103,36 @@ func (l *L0) Merge(other Sketch) error {
 	return l.s.MergeFrom(o.s)
 }
 
+// Partition splits the sketch into n fresh L0 sketches, routing every
+// stored group by its representative (see Partitionable).
+func (l *L0) Partition(n int, shard func(p geom.Point) int) ([]Sketch, error) {
+	parts, err := l.s.Partition(n, shard)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Sketch, n)
+	for i, p := range parts {
+		out[i] = &L0{s: p}
+	}
+	return out, nil
+}
+
 // WindowL0 is the hierarchical sliding-window robust ℓ0-sampler
 // (Algorithms 3–5) behind the unified interface. Process stamps points
-// with their arrival index (sequence windows); use ProcessAt for
-// time-based windows.
+// with their arrival index (sequence windows) or the latest known
+// timestamp (time windows); use ProcessAt/ProcessStampedBatch for
+// explicitly stamped time-window ingestion. Time-window sketches are
+// Mergeable and serializable — what lets the sharded engine and the
+// cluster tier serve them; sequence windows are not (arrival indices do
+// not compose across streams).
 type WindowL0 struct {
 	ws *core.WindowSampler
 }
 
-var _ Sketch = (*WindowL0)(nil)
+var (
+	_ Mergeable = (*WindowL0)(nil)
+	_ Stamped   = (*WindowL0)(nil)
+)
 
 // NewWindowL0 builds a sliding-window robust ℓ0-sampler sketch.
 func NewWindowL0(opts core.Options, win window.Window) (*WindowL0, error) {
@@ -132,8 +153,17 @@ func (w *WindowL0) Process(p geom.Point) { w.ws.Process(p) }
 // windows). Stamps must be non-decreasing.
 func (w *WindowL0) ProcessAt(p geom.Point, stamp int64) { w.ws.ProcessAt(p, stamp) }
 
+// ProcessStampedBatch feeds a batch of explicitly stamped points in
+// stream order (time-based windows): stamps[i] is the timestamp of ps[i].
+func (w *WindowL0) ProcessStampedBatch(ps []geom.Point, stamps []int64) {
+	w.ws.ProcessStampedBatch(ps, stamps)
+}
+
 // ProcessBatch feeds a batch of points in stream order.
 func (w *WindowL0) ProcessBatch(ps []geom.Point) { w.ws.ProcessBatch(ps) }
+
+// Now returns the latest stamp seen — the window's right edge.
+func (w *WindowL0) Now() int64 { return w.ws.Now() }
 
 // Query returns a uniform robust ℓ0-sample of the groups with a point in
 // the current window. Window sketches carry no calibrated estimate; use
@@ -149,6 +179,65 @@ func (w *WindowL0) Query() (Result, error) {
 // Space returns the live sketch words summed over levels.
 func (w *WindowL0) Space() int { return w.ws.SpaceWords() }
 
-// Serialize is unsupported for window sketches (the expiry structure has
-// no wire format).
-func (w *WindowL0) Serialize() ([]byte, error) { return nil, ErrNotSerializable }
+// Serialize encodes the window sketch — expiry stamps, level structure,
+// clock, and seed-derived randomness — in the versioned envelope format;
+// restore with RestoreWindowL0 or the family-agnostic Deserialize.
+// Sequence windows and sketches over a custom Space return
+// ErrNotSerializable.
+func (w *WindowL0) Serialize() ([]byte, error) {
+	payload, err := w.ws.MarshalBinary()
+	if err != nil {
+		return nil, mapCoreSerializeErr(err)
+	}
+	return encodeEnvelope(KindWindowL0, payload), nil
+}
+
+// RestoreWindowL0 reconstructs a serialized WindowL0 sketch from
+// Serialize output.
+func RestoreWindowL0(data []byte) (*WindowL0, error) {
+	k, payload, err := decodeEnvelope(data)
+	if err != nil {
+		return nil, err
+	}
+	if k != KindWindowL0 {
+		return nil, fmt.Errorf("sketch: serialized sketch is %v, not windowl0", k)
+	}
+	return restoreWindowL0Payload(payload)
+}
+
+// restoreWindowL0Payload reconstructs a WindowL0 from its envelope payload.
+func restoreWindowL0Payload(payload []byte) (*WindowL0, error) {
+	ws, err := core.UnmarshalWindowSampler(payload)
+	if err != nil {
+		return nil, err
+	}
+	return &WindowL0{ws: ws}, nil
+}
+
+// Merge unions another WindowL0 built with identical Options and the same
+// time-based Window into w in place; the other sketch is left intact and
+// the merged window's right edge is the later of the two clocks. Sequence
+// windows return core.ErrWindowMerge: their arrival indices do not
+// compose (see docs/engine.md "Limitations").
+func (w *WindowL0) Merge(other Sketch) error {
+	o, ok := other.(*WindowL0)
+	if !ok {
+		return fmt.Errorf("%w: cannot merge %T into *sketch.WindowL0", ErrIncompatible, other)
+	}
+	return w.ws.MergeFrom(o.ws)
+}
+
+// Partition splits the window sketch into n fresh WindowL0 sketches,
+// routing every stored group by its representative (time-based windows
+// only; see Partitionable).
+func (w *WindowL0) Partition(n int, shard func(p geom.Point) int) ([]Sketch, error) {
+	parts, err := w.ws.Partition(n, shard)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Sketch, n)
+	for i, p := range parts {
+		out[i] = &WindowL0{ws: p}
+	}
+	return out, nil
+}

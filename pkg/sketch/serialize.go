@@ -29,8 +29,9 @@ func mapCoreSerializeErr(err error) error {
 // Kind identifies a serializable sketch family inside the envelope.
 type Kind uint8
 
-// The serializable sketch families. KindInvalid is never written; window
-// sketches have no Kind because they have no wire format.
+// The serializable sketch families. KindInvalid is never written;
+// sequence-window sketches have no Kind because they have no wire format
+// (time-window sketches serialize as KindWindowL0/KindWindowF0).
 const (
 	KindInvalid Kind = iota
 	KindL0
@@ -40,6 +41,8 @@ const (
 	KindHyperLogLog
 	KindLinearCounting
 	KindReservoir
+	KindWindowL0
+	KindWindowF0
 )
 
 // String implements fmt.Stringer.
@@ -59,6 +62,10 @@ func (k Kind) String() string {
 		return "linearcounting"
 	case KindReservoir:
 		return "reservoir"
+	case KindWindowL0:
+		return "windowl0"
+	case KindWindowF0:
+		return "windowf0"
 	default:
 		return fmt.Sprintf("sketch.Kind(%d)", int(k))
 	}
@@ -156,6 +163,18 @@ func Deserialize(data []byte) (Sketch, error) {
 			return nil, err
 		}
 		return &Reservoir{r: r}, nil
+	case KindWindowL0:
+		w, err := restoreWindowL0Payload(payload)
+		if err != nil {
+			return nil, err
+		}
+		return w, nil
+	case KindWindowF0:
+		we, err := f0.UnmarshalWindowEstimator(payload)
+		if err != nil {
+			return nil, err
+		}
+		return &WindowF0{we: we}, nil
 	default:
 		return nil, fmt.Errorf("sketch: unknown sketch kind %d", int(k))
 	}

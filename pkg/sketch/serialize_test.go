@@ -96,6 +96,107 @@ func TestSerializeRoundTripAllAdapters(t *testing.T) {
 	}
 }
 
+// stampedTestStream builds a stamped stream with expirations: each point
+// of testStream gets its arrival index as timestamp, so a time window of
+// width w drops everything older than the last w arrivals.
+func stampedTestStream(numGroups, dup int, seed uint64) ([]geom.Point, []int64) {
+	pts := testStream(numGroups, dup, seed)
+	stamps := make([]int64, len(pts))
+	for i := range stamps {
+		stamps[i] = int64(i + 1)
+	}
+	return pts, stamps
+}
+
+// TestSerializeRoundTripWindowSketches checkpoints the time-window
+// sketches mid-stream — expiry stamps, level structure, clock and all —
+// restores them via the family-agnostic Deserialize, and requires the
+// restored sketch to answer identically and to keep ingesting the
+// identical stamped suffix in lockstep with the original.
+func TestSerializeRoundTripWindowSketches(t *testing.T) {
+	pts, stamps := stampedTestStream(120, 5, 13)
+	half := len(pts) / 2
+	win := window.Window{Kind: window.Time, W: 200}
+
+	t.Run("WindowL0", func(t *testing.T) {
+		s, err := NewWindowL0(testOpts(len(pts)), win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.ProcessStampedBatch(pts[:half], stamps[:half])
+		restored := roundTrip(t, s, KindWindowL0).(*WindowL0)
+		lockstepWindowL0(t, s, restored, "restore")
+		s.ProcessStampedBatch(pts[half:], stamps[half:])
+		restored.ProcessStampedBatch(pts[half:], stamps[half:])
+		lockstepWindowL0(t, s, restored, "post-restore ingestion")
+		if res, err := restored.Query(); err != nil || res.Sample == nil {
+			t.Fatalf("restored query: res=%+v err=%v", res, err)
+		}
+	})
+
+	t.Run("WindowF0", func(t *testing.T) {
+		opts := core.Options{Alpha: 1, Dim: 2, Seed: 11, Kappa: 1, StreamBound: 16}
+		s, err := NewWindowF0(opts, win, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.ProcessStampedBatch(pts[:half], stamps[:half])
+		restored := roundTrip(t, s, KindWindowF0).(*WindowF0)
+		if got, want := estimateOf(t, restored), estimateOf(t, s); got != want {
+			t.Fatalf("restored estimate %g != original %g", got, want)
+		}
+		s.ProcessStampedBatch(pts[half:], stamps[half:])
+		restored.ProcessStampedBatch(pts[half:], stamps[half:])
+		if got, want := estimateOf(t, restored), estimateOf(t, s); got != want {
+			t.Fatalf("post-restore ingestion diverged: %g != %g", got, want)
+		}
+		if got, want := restored.Space(), s.Space(); got != want {
+			t.Fatalf("post-restore space %d != %d", got, want)
+		}
+	})
+}
+
+// lockstepWindowL0 asserts two window samplers hold structurally
+// identical state (ingestion is deterministic given the shared seed; only
+// query randomness may differ).
+func lockstepWindowL0(t *testing.T, a, b *WindowL0, phase string) {
+	t.Helper()
+	wa, wb := a.WindowSampler(), b.WindowSampler()
+	if wa.Now() != wb.Now() || wa.Processed() != wb.Processed() {
+		t.Fatalf("%s: clock/count diverged: now %d/%d processed %d/%d",
+			phase, wa.Now(), wb.Now(), wa.Processed(), wb.Processed())
+	}
+	as, bs := wa.AcceptSizes(), wb.AcceptSizes()
+	for l := range as {
+		if as[l] != bs[l] {
+			t.Fatalf("%s: level %d accept size %d != %d (all: %v vs %v)", phase, l, as[l], bs[l], as, bs)
+		}
+	}
+	if a.Space() != b.Space() {
+		t.Fatalf("%s: space %d != %d", phase, a.Space(), b.Space())
+	}
+}
+
+// TestSequenceWindowSketchesNotSerializable pins the documented contract:
+// sequence windows have no wire format and keep saying so.
+func TestSequenceWindowSketchesNotSerializable(t *testing.T) {
+	win := window.Window{Kind: window.Sequence, W: 64}
+	wl, err := NewWindowL0(testOpts(100), win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wl.Serialize(); !errors.Is(err, ErrNotSerializable) {
+		t.Fatalf("sequence WindowL0 serialize error = %v, want ErrNotSerializable", err)
+	}
+	wf, err := NewWindowF0(core.Options{Alpha: 1, Dim: 2, Seed: 5, Kappa: 1, StreamBound: 16}, win, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wf.Serialize(); !errors.Is(err, ErrNotSerializable) {
+		t.Fatalf("sequence WindowF0 serialize error = %v, want ErrNotSerializable", err)
+	}
+}
+
 // TestSerializeRoundTripReservoir checks the reservoir separately: its
 // query draws no randomness, but future ingestion does, so the serialized
 // RNG state must make original and restored reservoirs evolve identically.

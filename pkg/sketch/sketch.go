@@ -27,8 +27,10 @@ import (
 const NoEstimate = -1
 
 // ErrNotSerializable is returned by Serialize on sketches with no wire
-// format (window sketches, whose expiry structure is not serialized, and
-// sketches over custom Spaces).
+// format: sequence-window sketches (whose expiry state is keyed to one
+// stream's arrival order — see docs/engine.md "Limitations") and sketches
+// over custom Spaces. Time-window sketches serialize like every other
+// family.
 var ErrNotSerializable = errors.New("sketch: not serializable")
 
 // ErrIncompatible is returned by Merge when the other sketch is of a
@@ -82,4 +84,37 @@ type Sketch interface {
 type Mergeable interface {
 	Sketch
 	Merge(other Sketch) error
+}
+
+// Stamped is implemented by sliding-window sketches that accept
+// explicitly stamped points — time-based windows, where the stamp is the
+// point's timestamp and must be non-decreasing across calls. Process and
+// ProcessBatch remain valid on a Stamped sketch: they stamp each point
+// with the latest timestamp seen so far ("arrives now").
+type Stamped interface {
+	Sketch
+
+	// ProcessAt feeds the next point with an explicit stamp.
+	ProcessAt(p geom.Point, stamp int64)
+
+	// ProcessStampedBatch feeds a batch of stamped points in stream order:
+	// stamps[i] is the timestamp of ps[i]; len(stamps) must equal len(ps).
+	ProcessStampedBatch(ps []geom.Point, stamps []int64)
+
+	// Now returns the latest stamp the sketch has seen — the right edge
+	// of its current window.
+	Now() int64
+}
+
+// Partitionable is implemented by sketches whose stored state can be
+// redistributed: Partition splits the sketch into n fresh sketches built
+// with the same parameters, routing every stored group by its
+// representative point, such that merging the partitions back reproduces
+// the original state. internal/engine uses this to restore a checkpoint
+// taken with one shard count into an engine with another, re-routing each
+// checkpointed entry through the engine's router. The receiver is not
+// modified; shard must return values in [0, n).
+type Partitionable interface {
+	Sketch
+	Partition(n int, shard func(p geom.Point) int) ([]Sketch, error)
 }

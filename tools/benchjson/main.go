@@ -3,13 +3,22 @@
 // performance trajectory can be tracked commit over commit (CI runs a
 // 1x smoke invocation and archives the file).
 //
-//	go run ./tools/benchjson                       # engine + gateway → BENCH_engine.json
+//	go run ./tools/benchjson                       # engine + window + gateway → BENCH_engine.json
 //	go run ./tools/benchjson -bench 'BenchmarkF0' -benchtime 10x -out f0.json
 //
 // The output records the environment (go version, GOOS/GOARCH, CPU
 // count, timestamp) and, per benchmark, the iteration count and every
 // metric `go test` printed — ns/op, B/op, allocs/op, and custom
 // b.ReportMetric units such as pts/s and queries/s.
+//
+// -require names benchmarks (comma-separated prefixes) that must appear
+// in the output; a missing one — a renamed or deleted benchmark that
+// would otherwise silently vanish from the perf trajectory — makes
+// benchjson exit non-zero. It defaults to the benchmarks tracked in the
+// committed BENCH_engine.json baseline, but the default applies only to
+// the default -bench selection: a custom -bench deliberately narrows
+// the run, so the baseline check is skipped unless -require is given
+// explicitly.
 package main
 
 import (
@@ -60,12 +69,26 @@ type Report struct {
 
 func main() {
 	var (
-		bench     = flag.String("bench", "BenchmarkEngineProcess|BenchmarkGatewayQuery", "benchmark selection regexp passed to go test -bench")
+		bench     = flag.String("bench", "BenchmarkEngineProcess|BenchmarkWindowEngineProcess|BenchmarkGatewayQuery", "benchmark selection regexp passed to go test -bench")
 		benchtime = flag.String("benchtime", "1x", "go test -benchtime value (e.g. 1x, 100x, 2s)")
 		pkg       = flag.String("pkg", ".", "package pattern to benchmark")
 		out       = flag.String("out", "BENCH_engine.json", "output JSON file")
+		require   = flag.String("require", "BenchmarkEngineProcess,BenchmarkWindowEngineProcess,BenchmarkGatewayQuery",
+			"comma-separated benchmark name prefixes that must appear in the results (empty disables the check; the default applies only with the default -bench)")
 	)
 	flag.Parse()
+	benchSet, requireSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "bench":
+			benchSet = true
+		case "require":
+			requireSet = true
+		}
+	})
+	if benchSet && !requireSet {
+		*require = "" // custom selection: the baseline set does not apply
+	}
 
 	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench,
 		"-benchtime", *benchtime, "-benchmem", *pkg)
@@ -82,6 +105,10 @@ func main() {
 	}
 	if len(results) == 0 {
 		fatal(fmt.Errorf("no benchmark lines matched %q (output:\n%s)", *bench, stdout.String()))
+	}
+	if missing := missingRequired(results, *require); len(missing) > 0 {
+		fatal(fmt.Errorf("expected benchmarks missing from the run: %s (renamed or deleted? update -require and the baseline)",
+			strings.Join(missing, ", ")))
 	}
 	report := Report{
 		GoVersion:   runtime.Version(),
@@ -102,6 +129,29 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("benchjson: %d benchmarks → %s\n", len(results), *out)
+}
+
+// missingRequired returns the required benchmark prefixes (comma-
+// separated in spec) that no result line starts with.
+func missingRequired(results []Result, spec string) []string {
+	var missing []string
+	for _, want := range strings.Split(spec, ",") {
+		want = strings.TrimSpace(want)
+		if want == "" {
+			continue
+		}
+		found := false
+		for _, r := range results {
+			if strings.HasPrefix(r.Name, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, want)
+		}
+	}
+	return missing
 }
 
 // parseBench extracts benchmark result lines from `go test -bench`
