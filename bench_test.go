@@ -372,12 +372,10 @@ func BenchmarkWindowEngineProcess(b *testing.B) {
 	}
 }
 
-// BenchmarkGatewayQuery measures one federated scatter-gather round over
-// an in-process 3-peer cluster: fetch every peer's serialized snapshot
-// over HTTP, deserialize, merge, query. This is the cluster tier's
-// query-path cost (the peers' snapshot caches are warm, so the fan-out
-// itself — transport + decode + fold — dominates).
-func BenchmarkGatewayQuery(b *testing.B) {
+// benchGatewayCluster spins up an in-process 3-peer cluster behind a
+// gateway, seeds it with 2^14 points, and returns the gateway URL — the
+// shared fixture of the BenchmarkGatewayQuery* family.
+func benchGatewayCluster(b *testing.B, noCache bool) string {
 	opts := core.Options{Alpha: 1, Dim: 2, Seed: 9, StreamBound: 1 << 20, Kappa: 128, HighDim: true}
 	rng := rand.New(rand.NewPCG(7, 11))
 	pts := make([]geom.Point, 1<<14)
@@ -403,7 +401,7 @@ func BenchmarkGatewayQuery(b *testing.B) {
 		urls[i] = ts.URL
 		b.Cleanup(func() { ts.Close(); eng.Close() })
 	}
-	gw, err := cluster.New(cluster.Config{Peers: urls, Router: router, Dim: opts.Dim})
+	gw, err := cluster.New(cluster.Config{Peers: urls, Router: router, Dim: opts.Dim, NoCache: noCache})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -418,10 +416,15 @@ func BenchmarkGatewayQuery(b *testing.B) {
 	if resp.StatusCode != http.StatusOK {
 		b.Fatalf("seed ingest status %d", resp.StatusCode)
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
+	return gwts.URL
+}
+
+// benchGatewayQueries issues b.N sequential /query rounds and reports
+// queries/s.
+func benchGatewayQueries(b *testing.B, url string) {
+	b.Helper()
 	for i := 0; i < b.N; i++ {
-		resp, err := http.Get(gwts.URL + "/query")
+		resp, err := http.Get(url + "/query")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -432,6 +435,106 @@ func BenchmarkGatewayQuery(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkGatewayQuery measures repeated federated queries over an
+// in-process 3-peer cluster. With the epoch-keyed federated cache the
+// first round pays the full scatter-gather (fetch + deserialize + fold);
+// every later round revalidates the quiescent peers with 304s and
+// answers from the cached union — this benchmark therefore tracks the
+// steady-state serving rate of a quiescent cluster, the common
+// read-heavy shape.
+func BenchmarkGatewayQuery(b *testing.B) {
+	url := benchGatewayCluster(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	benchGatewayQueries(b, url)
+}
+
+// BenchmarkGatewayQueryWarm is the pure warm-cache path: one query
+// outside the timer warms the per-peer and merged caches, so every
+// measured round is three conditional GETs plus a cached answer — zero
+// deserializations, zero merges (the e2e test proves the counters).
+func BenchmarkGatewayQueryWarm(b *testing.B) {
+	url := benchGatewayCluster(b, false)
+	resp, err := http.Get(url + "/query")
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	benchGatewayQueries(b, url)
+}
+
+// BenchmarkGatewayQueryCold forces the full fan-out every round by disabling
+// the federated cache: every query re-fetches, re-deserializes, and
+// re-folds all three peer snapshots — the pre-cache behavior, tracked so
+// the invalidation path cannot quietly regress.
+func BenchmarkGatewayQueryCold(b *testing.B) {
+	url := benchGatewayCluster(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	benchGatewayQueries(b, url)
+}
+
+// BenchmarkSketchMarshal compares the retired gob wire format with the
+// hand-rolled binary one on a loaded time-window sampler — the sketch
+// family with the richest wire state (levels, expiry stamps, reservoir
+// skylines). blob_bytes reports the encoded size.
+func BenchmarkSketchMarshal(b *testing.B) {
+	opts := core.Options{Alpha: 1, Dim: 2, Seed: 9, StreamBound: 1 << 20, Kappa: 64, HighDim: true, RandomRepresentative: true}
+	rng := rand.New(rand.NewPCG(19, 23))
+	ws, err := core.NewWindowSampler(opts, window.Window{Kind: window.Time, W: 1 << 12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1<<15; i++ {
+		ws.ProcessAt(geom.Point{rng.Float64() * 2048, rng.Float64() * 2048}, int64(i/64+1))
+	}
+	binBlob, err := ws.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	gobBlob, err := core.MarshalWindowSamplerV1(ws)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("binary/marshal", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ReportMetric(float64(len(binBlob)), "blob_bytes")
+		for i := 0; i < b.N; i++ {
+			if _, err := ws.MarshalBinary(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gob/marshal", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ReportMetric(float64(len(gobBlob)), "blob_bytes")
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MarshalWindowSamplerV1(ws); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("binary/unmarshal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.UnmarshalWindowSampler(binBlob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gob/unmarshal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.UnmarshalWindowSampler(gobBlob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkProcessBatch measures the batched single-sampler ingestion

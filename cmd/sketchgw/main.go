@@ -53,6 +53,7 @@ func main() {
 		backoff  = flag.Duration("backoff", 50*time.Millisecond, "base delay between retry attempts (linear)")
 		downN    = flag.Int("down-after", 3, "consecutive failures before a peer's circuit breaker opens")
 		cooldown = flag.Duration("down-cooldown", 2*time.Second, "how long an open breaker skips a peer")
+		fedCache = flag.Bool("fed-cache", true, "cache peer snapshots and the federated fold keyed by the peers' ingest epochs (disable only for debugging)")
 	)
 	flag.Parse()
 
@@ -90,6 +91,7 @@ func main() {
 		RetryBackoff:   *backoff,
 		DownAfter:      *downN,
 		DownCooldown:   *cooldown,
+		NoCache:        !*fedCache,
 	})
 	if err != nil {
 		fatal(err)
@@ -100,7 +102,12 @@ func main() {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("sketchgw: %d peers, policy %s, listening on %s", len(urls), policy, *addr)
+		cache := "on"
+		if !*fedCache {
+			cache = "off"
+		}
+		log.Printf("sketchgw: %d peers, policy %s, federated cache %s, listening on %s",
+			len(urls), policy, cache, *addr)
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}

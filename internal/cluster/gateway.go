@@ -16,11 +16,17 @@
 //   - Partial failure is policy: PartialFail turns any unreachable peer
 //     into a 502, PartialDegrade (the default) answers from the live
 //     subset with "partial": true in the response.
+//   - Federated query cache: every peer snapshot is cached alongside its
+//     strong ETag (derived from the peer's ingest epoch), re-fetched
+//     with conditional GETs (a 304 reuses the cached deserialized
+//     sketch), and the merged union plus per-k answers are cached keyed
+//     by the whole peer-epoch vector — a quiescent cluster answers
+//     repeated queries without deserializing or merging anything.
 //
 // The gateway exposes the same HTTP API as a single daemon (/ingest,
 // /query, /stats, /healthz — and /sketch, so gateways stack into trees),
 // so clients are oblivious to whether they talk to one node or a cluster.
-// Topology, failure semantics, and routing are documented in
+// Topology, failure semantics, routing, and the cache are documented in
 // docs/cluster.md.
 package cluster
 
@@ -29,6 +35,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net/http"
 	"net/url"
 	"strings"
@@ -135,6 +142,13 @@ type Config struct {
 	// MaxBodyBytes caps a single ingest body. Defaults to 64 MiB.
 	MaxBodyBytes int64
 
+	// NoCache disables the federated query cache: every query re-fetches,
+	// re-deserializes, and re-folds every peer snapshot as if the peers'
+	// epochs had moved (conditional GETs are not sent). The gateway still
+	// serves correct ETags to its own clients. Intended for debugging and
+	// A/B measurement, not production.
+	NoCache bool
+
 	// Client is the HTTP client for peer requests. Defaults to a fresh
 	// http.Client (per-attempt timeouts come from RequestTimeout).
 	Client *http.Client
@@ -171,7 +185,9 @@ func (c Config) withDefaults() Config {
 }
 
 // Gateway is the scatter-gather HTTP front end over a peer fleet. All
-// handlers are safe for concurrent use.
+// handlers are safe for concurrent use; queries serialize on the
+// federated cache (cacheMu), mirroring how a single daemon serializes
+// snapshot queries on the engine's snapshot cache.
 type Gateway struct {
 	cfg    Config
 	peers  []*peer
@@ -183,6 +199,53 @@ type Gateway struct {
 	pointsRouted   atomic.Int64
 	queries        atomic.Int64
 	partialQueries atomic.Int64
+
+	// Federated query cache (see refresh): per-peer snapshots keyed by
+	// the peers' ETags (ingest epochs), the merged union keyed by the
+	// whole validator vector, and per-k answers on top. cacheMu guards
+	// all of it and hands the merged sketch to one query at a time —
+	// queries advance its RNG, so unsynchronized sharing would race.
+	// The network scatter itself runs outside cacheMu under the flight
+	// singleflight below, so handlers hold the lock only for the
+	// in-memory fold and answer.
+	cacheMu sync.Mutex
+
+	// flightMu/inflight deduplicate concurrent scatter rounds: one
+	// leader runs the network round (and exclusively owns peerSnaps for
+	// its duration), followers wait for its outcome. Without this, a
+	// slow not-yet-broken peer would make every concurrent query pay its
+	// own full timeout-bounded round back to back.
+	flightMu    sync.Mutex
+	inflight    *flight
+	peerSnaps   []peerSnap
+	mergedKey   string
+	merged      sketch.Mergeable
+	mergedFo    fanout
+	mergedBlob  []byte // lazily serialized union for GET /sketch
+	mergedValid bool
+	answers     map[int]server.QueryResponse // per-k answers for mergedKey
+	nonce       atomic.Int64                 // validators for peers serving no ETag
+
+	peerNotModified  atomic.Int64 // peer fetches answered 304 (cached snapshot reused)
+	fedBytesSaved    atomic.Int64 // envelope bytes not re-transferred thanks to 304s
+	fedCacheHits     atomic.Int64 // scatter rounds that reused the merged union (no fold)
+	fedCacheMisses   atomic.Int64 // scatter rounds that had to re-fold
+	fedAnswerHits    atomic.Int64 // queries served from the per-k answer cache
+	peerDeserializes atomic.Int64 // envelope deserializations performed
+	sketchMerges     atomic.Int64 // Mergeable.Merge folds performed
+	notModified      atomic.Int64 // gateway's own 304s served to clients
+}
+
+// peerSnap is one peer's slot in the federated cache: the last envelope
+// the peer served, its strong validator, and the deserialized sketch.
+// The sketch is reused read-only across rounds (it is never the merge
+// receiver), so a 304 from the peer costs zero deserializations and
+// zero sketch allocations.
+type peerSnap struct {
+	etag     string
+	blob     []byte
+	sk       sketch.Sketch
+	degraded bool // peer (itself a gateway) flagged its fold partial
 }
 
 // New builds a Gateway over the configured peers.
@@ -198,6 +261,8 @@ func New(cfg Config) (*Gateway, error) {
 		return nil, fmt.Errorf("cluster: Config.Dim must be ≥ 1, got %d", cfg.Dim)
 	}
 	g := &Gateway{cfg: cfg, mux: http.NewServeMux(), client: cfg.Client, start: time.Now()}
+	g.peerSnaps = make([]peerSnap, len(cfg.Peers))
+	g.answers = make(map[int]server.QueryResponse)
 	g.peers = make([]*peer, len(cfg.Peers))
 	for i, raw := range cfg.Peers {
 		u, err := url.Parse(raw)
@@ -277,6 +342,30 @@ type StatsResponse struct {
 	Queries int64 `json:"queries"`
 	// PartialQueries counts fan-outs answered from a strict peer subset.
 	PartialQueries int64 `json:"partial_queries"`
+	// PeerNotModified counts peer snapshot fetches answered 304 — the
+	// cached deserialized sketch was reused without transfer or decode.
+	PeerNotModified int64 `json:"peer_not_modified"`
+	// FedBytesSaved totals the envelope bytes not re-transferred because
+	// a peer answered 304 to a conditional GET.
+	FedBytesSaved int64 `json:"fed_bytes_saved"`
+	// FedCacheHits counts scatter rounds whose merged union was reused
+	// because no peer epoch, down set, or degraded set had changed — the
+	// whole fold (every deserialization and merge) was skipped.
+	FedCacheHits int64 `json:"fed_cache_hits"`
+	// FedCacheMisses counts scatter rounds that re-folded the union.
+	FedCacheMisses int64 `json:"fed_cache_misses"`
+	// FedAnswerHits counts GET /query responses served verbatim from the
+	// per-k answer cache on top of a merged-union hit.
+	FedAnswerHits int64 `json:"fed_answer_hits"`
+	// PeerDeserializes counts sketch envelope deserializations performed
+	// (zero across a warm-cache query).
+	PeerDeserializes int64 `json:"peer_deserializes"`
+	// SketchMerges counts Mergeable.Merge folds performed (zero across a
+	// warm-cache query).
+	SketchMerges int64 `json:"sketch_merges"`
+	// NotModified counts the gateway's own 304 responses to conditional
+	// GETs from its clients (e.g. a higher-tier gateway).
+	NotModified int64 `json:"not_modified"`
 }
 
 // peerIndex maps a point to its home peer. The routing-cell hash is
@@ -297,6 +386,18 @@ func (g *Gateway) peerIndex(p geom.Point) int {
 // re-encoding expanded it.
 const forwardChunkBytes = 32 << 20
 
+// forwardBufPool recycles the packed-binary bodies of routed ingest
+// sub-batches: a gateway under ingest load would otherwise allocate one
+// body per peer per request, each up to forwardChunkBytes.
+var forwardBufPool = sync.Pool{New: func() any { b := []byte(nil); return &b }}
+
+func getForwardBuf() []byte { return (*forwardBufPool.Get().(*[]byte))[:0] }
+
+func putForwardBuf(b []byte) {
+	b = b[:0]
+	forwardBufPool.Put(&b)
+}
+
 // partialHeader marks a /sketch export folded from a strict peer subset;
 // stacked gateways propagate it upward instead of laundering a degraded
 // fold into a seemingly complete one.
@@ -311,79 +412,200 @@ type fanout struct {
 
 func (f fanout) partial() bool { return len(f.failed)+len(f.degraded) > 0 }
 
-// federate fetches every live peer's serialized snapshot in parallel,
-// deserializes, and folds them in peer order into one merged sketch.
-// Peers with an open breaker are skipped and counted as failed; peers
-// that are themselves gateways serving a partial fold (partialHeader)
-// make the result partial too. The error is non-nil when no peer
-// contributed, or when the fold is partial under PartialFail.
-func (g *Gateway) federate(ctx context.Context) (sketch.Sketch, fanout, error) {
+// scatterResult is one peer's outcome in a refresh round.
+type scatterResult struct {
+	ok        bool
+	validator string // cache-key part: the peer's ETag (or a nonce); "down" on failure
+	degraded  bool
+}
+
+// maxAnswerCache bounds the per-k answer cache; past it the map is
+// cleared rather than grown (distinct k values per epoch vector are
+// normally a handful).
+const maxAnswerCache = 64
+
+// flight is one in-progress scatter round shared by concurrent queries.
+type flight struct {
+	done chan struct{}
+	err  error
+}
+
+// refresh brings the federated cache up to date, deduplicating
+// concurrent callers onto one scatter round: the first caller leads the
+// network round, later ones wait for its outcome and then answer from
+// the freshly installed cache. Callers must NOT hold cacheMu. The round
+// is detached from the leader's request context (it outlives a client
+// disconnect; per-attempt timeouts still bound it), so followers never
+// inherit a stranger's cancellation.
+func (g *Gateway) refresh(ctx context.Context) error {
 	g.queries.Add(1)
-	sketches := make([]sketch.Sketch, len(g.peers))
-	upstreamPartial := make([]bool, len(g.peers))
+	g.flightMu.Lock()
+	if f := g.inflight; f != nil {
+		g.flightMu.Unlock()
+		select {
+		case <-f.done:
+			return f.err
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.inflight = f
+	g.flightMu.Unlock()
+	f.err = g.scatter(context.WithoutCancel(ctx))
+	g.flightMu.Lock()
+	g.inflight = nil
+	g.flightMu.Unlock()
+	close(f.done)
+	return f.err
+}
+
+// scatter runs one fan-out round and installs the results. Only the
+// flight leader runs it, which is what makes the lock-free peerSnaps
+// access safe. Every live peer gets a GET /sketch — conditional
+// (If-None-Match with the cached validator) when a snapshot of it is
+// already cached, so a quiescent peer answers 304 and its cached
+// deserialized sketch is reused with zero allocations. The merged union
+// is then re-folded (under cacheMu) only when the vector of peer
+// validators (ETags — i.e. ingest epochs — plus the down/degraded set)
+// differs from the cached one; on a match the fold, and therefore every
+// deserialization and merge, is skipped. The error is non-nil when no
+// peer contributed, or when the round is partial under PartialFail —
+// the cache is left untouched in both cases.
+func (g *Gateway) scatter(ctx context.Context) error {
+	useCache := !g.cfg.NoCache
+	res := make([]scatterResult, len(g.peers))
 	errs := make([]error, len(g.peers))
 	now := time.Now()
 	var wg sync.WaitGroup
 	for i, p := range g.peers {
 		if !p.admit(now, g.cfg.DownCooldown) {
 			errs[i] = fmt.Errorf("cluster: peer %s is down (circuit open)", p.url)
+			res[i].validator = "down"
 			continue
 		}
 		wg.Add(1)
 		go func(i int, p *peer) {
 			defer wg.Done()
-			blob, hdr, err := g.do(ctx, p, http.MethodGet, "/sketch", "", nil, nil)
+			// Distinct indices, and cacheMu is held by the caller: the
+			// per-peer slots cannot be written concurrently.
+			snap := &g.peerSnaps[i]
+			var extra http.Header
+			if useCache && snap.sk != nil && snap.etag != "" {
+				extra = http.Header{"If-None-Match": []string{snap.etag}}
+			}
+			blob, hdr, status, err := g.do(ctx, p, http.MethodGet, "/sketch", "", nil, extra)
 			if err != nil {
 				errs[i] = err
+				res[i].validator = "down"
+				return
+			}
+			if status == http.StatusNotModified {
+				g.peerNotModified.Add(1)
+				g.fedBytesSaved.Add(int64(len(snap.blob)))
+				res[i] = scatterResult{ok: true, validator: snap.validator(), degraded: snap.degraded}
 				return
 			}
 			sk, err := sketch.Deserialize(blob)
 			if err != nil {
 				errs[i] = fmt.Errorf("cluster: peer %s sketch: %w", p.url, err)
+				res[i].validator = "down"
 				return
 			}
-			sketches[i] = sk
-			upstreamPartial[i] = hdr.Get(partialHeader) == "true"
+			g.peerDeserializes.Add(1)
+			etag := hdr.Get("ETag")
+			*snap = peerSnap{
+				etag:     etag,
+				blob:     blob,
+				sk:       sk,
+				degraded: hdr.Get(partialHeader) == "true",
+			}
+			v := snap.validator()
+			if etag == "" {
+				// The peer serves no validator: this snapshot can never be
+				// revalidated, so key it uniquely — a warm hit would risk
+				// serving a stale fold.
+				v = fmt.Sprintf("nocache-%d", g.nonce.Add(1))
+			}
+			res[i] = scatterResult{ok: true, validator: v, degraded: snap.degraded}
 		}(i, p)
 	}
 	wg.Wait()
 
-	var (
-		fo     fanout
-		merged sketch.Mergeable
-	)
-	for i, sk := range sketches {
-		if sk == nil {
+	var fo fanout
+	parts := make([]string, len(res))
+	for i, r := range res {
+		parts[i] = r.validator
+		if !r.ok {
 			fo.failed = append(fo.failed, g.peers[i].url)
 			continue
 		}
 		fo.ok++
-		if upstreamPartial[i] {
+		if r.degraded {
 			fo.degraded = append(fo.degraded, g.peers[i].url)
 		}
+	}
+	if fo.ok == 0 {
+		return fmt.Errorf("%w: all %d peers failed (first: %v)", errNoPeers, len(g.peers), errs[firstError(errs)])
+	}
+	if fo.partial() && g.cfg.Partial == PartialFail {
+		return fmt.Errorf("%w under policy %q: %d unreachable, %d upstream-partial of %d peers: %s",
+			errPartialRefused, PartialFail, len(fo.failed), len(fo.degraded), len(g.peers),
+			strings.Join(append(append([]string(nil), fo.failed...), fo.degraded...), ", "))
+	}
+	key := strings.Join(parts, "|")
+	// The fold and install mutate the cache read by the answer phase of
+	// the handlers — from here on the round holds cacheMu (in-memory
+	// work only; the network round above ran without it).
+	g.cacheMu.Lock()
+	defer g.cacheMu.Unlock()
+	if useCache && g.mergedValid && key == g.mergedKey {
+		g.fedCacheHits.Add(1)
+		return nil
+	}
+	g.fedCacheMisses.Add(1)
+	var merged sketch.Mergeable
+	for i, r := range res {
+		if !r.ok {
+			continue
+		}
 		if merged == nil {
-			m, ok := sk.(sketch.Mergeable)
+			// The cached per-peer sketches stay read-only across rounds, so
+			// the fold receiver is a fresh copy deserialized from the first
+			// contributor's cached envelope — one deserialization per
+			// re-fold, zero network.
+			recv, err := sketch.Deserialize(g.peerSnaps[i].blob)
+			if err != nil {
+				return fmt.Errorf("cluster: peer %s sketch: %w", g.peers[i].url, err)
+			}
+			g.peerDeserializes.Add(1)
+			m, ok := recv.(sketch.Mergeable)
 			if !ok {
-				return nil, fo, fmt.Errorf("cluster: %T is not mergeable; federation needs sketch.Mergeable", sk)
+				return fmt.Errorf("cluster: %T is not mergeable; federation needs sketch.Mergeable", recv)
 			}
 			merged = m
 			continue
 		}
-		if err := merged.Merge(sk); err != nil {
-			return nil, fo, fmt.Errorf("cluster: merging peer %s: %w", g.peers[i].url, err)
+		if err := merged.Merge(g.peerSnaps[i].sk); err != nil {
+			return fmt.Errorf("cluster: merging peer %s: %w", g.peers[i].url, err)
 		}
+		g.sketchMerges.Add(1)
 	}
-	if merged == nil {
-		return nil, fo, fmt.Errorf("%w: all %d peers failed (first: %v)", errNoPeers, len(g.peers), errs[firstError(errs)])
+	g.merged, g.mergedFo, g.mergedKey = merged, fo, key
+	g.mergedValid = useCache
+	g.mergedBlob = nil
+	clear(g.answers)
+	return nil
+}
+
+// validator is the peer's cache-key part: its ETag, suffixed when the
+// peer's own fold was partial (an upstream gateway's ETag already covers
+// its degradation, but the suffix keeps the key honest for any server).
+func (s *peerSnap) validator() string {
+	if s.degraded {
+		return s.etag + "+partial"
 	}
-	if fo.partial() {
-		if g.cfg.Partial == PartialFail {
-			return nil, fo, fmt.Errorf("%w under policy %q: %d unreachable, %d upstream-partial of %d peers: %s",
-				errPartialRefused, PartialFail, len(fo.failed), len(fo.degraded), len(g.peers),
-				strings.Join(append(append([]string(nil), fo.failed...), fo.degraded...), ", "))
-		}
-	}
-	return merged, fo, nil
+	return s.etag
 }
 
 // servedPartial counts a degraded answer that actually went out the door
@@ -412,11 +634,13 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 		server.WriteError(w, http.StatusBadRequest, err)
 		return
 	}
-	merged, fo, err := g.federate(r.Context())
-	if err != nil {
+	if err := g.refresh(r.Context()); err != nil {
 		server.WriteError(w, federateStatus(err), err)
 		return
 	}
+	g.cacheMu.Lock()
+	defer g.cacheMu.Unlock()
+	fo := g.mergedFo
 	resp := QueryResponse{
 		Partial:       fo.partial(),
 		PeersTotal:    len(g.peers),
@@ -424,41 +648,83 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 		FailedPeers:   fo.failed,
 		DegradedPeers: fo.degraded,
 	}
-	// The answer itself is built by the same code as on a single daemon,
-	// so the two tiers agree on response shape and status codes.
-	resp.QueryResponse, err = server.AnswerQuery(merged, k)
-	if err != nil {
-		server.WriteError(w, server.QueryErrorStatus(err), err)
-		return
+	if cached, ok := g.answers[k]; ok {
+		// Fully warm: same peer epochs, same k — the cached answer is
+		// returned verbatim (samples included; they would merely
+		// re-randomize over identical state).
+		g.fedAnswerHits.Add(1)
+		resp.QueryResponse = cached
+	} else {
+		// The answer itself is built by the same code as on a single
+		// daemon, so the two tiers agree on response shape and status
+		// codes.
+		resp.QueryResponse, err = server.AnswerQuery(g.merged, k)
+		if err != nil {
+			server.WriteError(w, server.QueryErrorStatus(err), err)
+			return
+		}
+		if !g.cfg.NoCache {
+			if len(g.answers) >= maxAnswerCache {
+				clear(g.answers)
+			}
+			g.answers[k] = resp.QueryResponse
+		}
 	}
 	g.servedPartial(fo)
 	server.WriteJSON(w, http.StatusOK, resp)
 }
 
+// exportETag is the strong validator of the gateway's own /sketch
+// export: the federated state is exactly the vector of peer validators,
+// so its hash (plus the gateway's start time, guarding restarts) changes
+// precisely when some peer's epoch, the down set, or the degraded set
+// does. This is what lets gateways stack with end-to-end caching — a
+// higher-tier gateway revalidates this one like any peer.
+func (g *Gateway) exportETag() string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(g.mergedKey))
+	return fmt.Sprintf("\"gw-%x-%x\"", g.start.UnixNano(), h.Sum64())
+}
+
 // handleSketch re-exports the federated merged sketch in the versioned
 // envelope, so gateways stack: a higher-tier gateway can treat this one
-// as a single peer. A partial fold is marked with X-Sketch-Partial: true
-// (PartialDegrade) rather than served silently.
+// as a single peer. The response carries a strong ETag derived from the
+// peer-validator vector; a conditional GET that still matches answers
+// 304, and the serialized union is cached until the vector moves. A
+// partial fold is marked with X-Sketch-Partial: true (PartialDegrade)
+// rather than served silently.
 func (g *Gateway) handleSketch(w http.ResponseWriter, r *http.Request) {
-	merged, fo, err := g.federate(r.Context())
-	if err != nil {
+	if err := g.refresh(r.Context()); err != nil {
 		server.WriteError(w, federateStatus(err), err)
 		return
 	}
-	blob, err := merged.Serialize()
-	if err != nil {
-		if errors.Is(err, sketch.ErrNotSerializable) {
-			server.WriteError(w, http.StatusNotImplemented, err)
-			return
-		}
-		server.WriteError(w, http.StatusInternalServerError, err)
-		return
-	}
+	g.cacheMu.Lock()
+	defer g.cacheMu.Unlock()
+	fo := g.mergedFo
+	etag := g.exportETag()
+	w.Header().Set("ETag", etag)
 	if fo.partial() {
 		w.Header().Set(partialHeader, "true")
 	}
+	if server.MatchETag(r, etag) {
+		g.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	if g.mergedBlob == nil {
+		blob, err := g.merged.Serialize()
+		if err != nil {
+			if errors.Is(err, sketch.ErrNotSerializable) {
+				server.WriteError(w, http.StatusNotImplemented, err)
+				return
+			}
+			server.WriteError(w, http.StatusInternalServerError, err)
+			return
+		}
+		g.mergedBlob = blob
+	}
 	g.servedPartial(fo)
-	server.WriteSketch(w, blob)
+	server.WriteSketch(w, g.mergedBlob)
 }
 
 // handleIngest routes a batch across the fleet: each point is assigned to
@@ -527,15 +793,20 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 				n := min(len(bucket), maxPts)
 				chunk := bucket[:n]
 				bucket = bucket[n:]
-				body := pointio.AppendBinaryBatch(make([]byte, 0, 8*g.cfg.Dim*n), chunk)
-				blob, _, err := g.do(r.Context(), p, http.MethodPost, "/ingest",
+				body := pointio.AppendBinaryBatch(getForwardBuf(), chunk)
+				blob, _, _, err := g.do(r.Context(), p, http.MethodPost, "/ingest",
 					pointio.BinaryContentType, body, stampHdr)
 				if err != nil {
+					// The buffer is NOT recycled on failure: a timed-out
+					// attempt's transport goroutine may still be reading it,
+					// and recycling would hand those bytes to another request
+					// mid-write. Dropped buffers are reclaimed by GC.
 					mu.Lock()
 					failed = append(failed, err.Error())
 					mu.Unlock()
 					return
 				}
+				putForwardBuf(body)
 				var ir server.IngestResponse
 				if err := json.Unmarshal(blob, &ir); err != nil || ir.Ingested != n {
 					mu.Lock()
@@ -569,14 +840,22 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 
 func (g *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
 	resp := StatsResponse{
-		Peers:          make([]PeerStatus, len(g.peers)),
-		PartialPolicy:  g.cfg.Partial,
-		StartedAt:      g.start.UTC().Format(time.RFC3339),
-		UptimeSeconds:  time.Since(g.start).Seconds(),
-		IngestRequests: g.ingestRequests.Load(),
-		PointsRouted:   g.pointsRouted.Load(),
-		Queries:        g.queries.Load(),
-		PartialQueries: g.partialQueries.Load(),
+		Peers:            make([]PeerStatus, len(g.peers)),
+		PartialPolicy:    g.cfg.Partial,
+		StartedAt:        g.start.UTC().Format(time.RFC3339),
+		UptimeSeconds:    time.Since(g.start).Seconds(),
+		IngestRequests:   g.ingestRequests.Load(),
+		PointsRouted:     g.pointsRouted.Load(),
+		Queries:          g.queries.Load(),
+		PartialQueries:   g.partialQueries.Load(),
+		PeerNotModified:  g.peerNotModified.Load(),
+		FedBytesSaved:    g.fedBytesSaved.Load(),
+		FedCacheHits:     g.fedCacheHits.Load(),
+		FedCacheMisses:   g.fedCacheMisses.Load(),
+		FedAnswerHits:    g.fedAnswerHits.Load(),
+		PeerDeserializes: g.peerDeserializes.Load(),
+		SketchMerges:     g.sketchMerges.Load(),
+		NotModified:      g.notModified.Load(),
 	}
 	for i, p := range g.peers {
 		up := p.up()

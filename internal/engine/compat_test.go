@@ -1,0 +1,86 @@
+package engine
+
+// Backward-compatibility suite for engine checkpoints written before the
+// binary sketch wire format: testdata/checkpoint_v1.ckpt was produced by
+// the gob-era code (see pkg/sketch/testdata for the sibling envelope
+// fixtures) and must keep restoring — at the original shard count and
+// re-sharded.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The options checkpoint_v1.ckpt was taken with (2 shards, 3000 points,
+// 300 groups — values recorded by the fixture generator alongside
+// pkg/sketch/testdata/envelope_v1_manifest.json). Restore requires the
+// same options and seed; the fixture is immutable.
+var v1CheckpointOpts = core.Options{Alpha: 1, Dim: 2, Seed: 77, StreamBound: 1 << 15, Kappa: 64}
+
+const (
+	v1CheckpointPoints   = 3000
+	v1CheckpointEstimate = 300
+)
+
+// TestRestoreV1Checkpoint restores the gob-era checkpoint into engines
+// with the original and a different shard count and requires the
+// recorded counters and estimate.
+func TestRestoreV1Checkpoint(t *testing.T) {
+	for _, shards := range []int{2, 3} {
+		eng, err := NewSamplerEngine(v1CheckpointOpts, Config{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.RestoreFile("testdata/checkpoint_v1.ckpt"); err != nil {
+			t.Fatalf("shards=%d: restoring v1 checkpoint: %v", shards, err)
+		}
+		if got := eng.Enqueued(); got != v1CheckpointPoints {
+			t.Fatalf("shards=%d: restored %d points, want %d", shards, got, v1CheckpointPoints)
+		}
+		res, err := eng.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Estimate != v1CheckpointEstimate {
+			t.Fatalf("shards=%d: restored estimate %g, want %d", shards, res.Estimate, v1CheckpointEstimate)
+		}
+		eng.Close()
+	}
+}
+
+// TestCheckpointRoundTripAfterV1Restore pins the upgrade path: a
+// restored gob-era engine re-checkpoints in the current format and that
+// checkpoint restores with identical state.
+func TestCheckpointRoundTripAfterV1Restore(t *testing.T) {
+	eng, err := NewSamplerEngine(v1CheckpointOpts, Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.RestoreFile("testdata/checkpoint_v1.ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/upgraded.ckpt"
+	if _, _, err := eng.CheckpointFile(path); err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := NewSamplerEngine(v1CheckpointOpts, Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	if err := eng2.RestoreFile(path); err != nil {
+		t.Fatalf("restoring upgraded checkpoint: %v", err)
+	}
+	res, err := eng2.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != v1CheckpointEstimate {
+		t.Fatalf("upgraded estimate %g, want %d", res.Estimate, v1CheckpointEstimate)
+	}
+	if eng2.Enqueued() != v1CheckpointPoints {
+		t.Fatalf("upgraded point count %d, want %d", eng2.Enqueued(), v1CheckpointPoints)
+	}
+}

@@ -123,10 +123,16 @@ type Engine struct {
 	shards []*shard
 	wg     sync.WaitGroup
 
-	bufPool  sync.Pool // *[]geom.Point batch buffers, cap = BatchSize
-	enqueued atomic.Int64
-	closed   atomic.Bool
-	start    time.Time
+	bufPool sync.Pool // *[]geom.Point batch buffers, cap = BatchSize
+
+	// bucketPool recycles the per-shard routing scratch of
+	// ProcessBatch/ProcessStampedBatch. Without it every batch allocates
+	// two slices of len(shards), making bytes-per-point grow linearly
+	// with the shard count on small batches.
+	bucketPool sync.Pool // *batchBuckets, slices of len(shards)
+	enqueued   atomic.Int64
+	closed     atomic.Bool
+	start      time.Time
 
 	// epoch counts ingest calls; the snapshot cache is valid only while it
 	// holds still, so queries between ingests skip the O(shards×entries)
@@ -165,6 +171,12 @@ func New(cfg Config) (*Engine, error) {
 	e.bufPool.New = func() any {
 		buf := make([]geom.Point, 0, cfg.BatchSize)
 		return &buf
+	}
+	e.bucketPool.New = func() any {
+		return &batchBuckets{
+			pts:    make([][]geom.Point, cfg.Shards),
+			stamps: make([][]int64, cfg.Shards),
+		}
 	}
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
@@ -206,6 +218,26 @@ func (e *Engine) worker(sh *shard) {
 
 func (e *Engine) getBuf() []geom.Point  { return (*e.bufPool.Get().(*[]geom.Point))[:0] }
 func (e *Engine) putBuf(b []geom.Point) { b = b[:0]; e.bufPool.Put(&b) }
+
+// batchBuckets is the pooled per-shard routing scratch: one pending
+// sub-batch (and its stamps, on stamped ingest) per shard.
+type batchBuckets struct {
+	pts    [][]geom.Point
+	stamps [][]int64
+}
+
+func (e *Engine) getBuckets() *batchBuckets { return e.bucketPool.Get().(*batchBuckets) }
+
+// putBuckets returns the scratch to the pool with every element cleared,
+// so a recycled bucket never retains point slices already handed to a
+// worker (or their stamps).
+func (e *Engine) putBuckets(b *batchBuckets) {
+	for i := range b.pts {
+		b.pts[i] = nil
+		b.stamps[i] = nil
+	}
+	e.bucketPool.Put(b)
+}
 
 func (e *Engine) shardOf(p geom.Point) *shard {
 	return e.shards[e.cfg.Router.Route(p)%uint64(len(e.shards))]
@@ -279,7 +311,8 @@ func (e *Engine) ProcessBatch(ps []geom.Point) {
 		panic("engine: ProcessBatch after Close")
 	}
 	e.enqueued.Add(int64(len(ps)))
-	buckets := make([][]geom.Point, len(e.shards))
+	bk := e.getBuckets()
+	buckets := bk.pts
 	for _, p := range ps {
 		i := e.cfg.Router.Route(p) % uint64(len(e.shards))
 		b := buckets[i]
@@ -301,6 +334,7 @@ func (e *Engine) ProcessBatch(ps []geom.Point) {
 			e.putBuf(b)
 		}
 	}
+	e.putBuckets(bk)
 	// Bumped after enqueueing, for the reason documented in Process.
 	e.epoch.Add(1)
 }
@@ -336,8 +370,8 @@ func (e *Engine) ProcessStampedBatch(ps []geom.Point, stamps []int64) {
 		}
 	}
 	e.enqueued.Add(int64(len(ps)))
-	buckets := make([][]geom.Point, len(e.shards))
-	stampBuckets := make([][]int64, len(e.shards))
+	bk := e.getBuckets()
+	buckets, stampBuckets := bk.pts, bk.stamps
 	for k, p := range ps {
 		i := e.cfg.Router.Route(p) % uint64(len(e.shards))
 		b := buckets[i]
@@ -361,6 +395,7 @@ func (e *Engine) ProcessStampedBatch(ps []geom.Point, stamps []int64) {
 			e.putBuf(b)
 		}
 	}
+	e.putBuckets(bk)
 	// Bumped after enqueueing, for the reason documented in Process.
 	e.epoch.Add(1)
 }
@@ -466,13 +501,25 @@ func (e *Engine) cachedSnapshot() (sketch.Sketch, error) {
 // WithSnapshot/Query/Checkpoint, which would deadlock. Ingestion may
 // proceed concurrently — it only marks the cache stale.
 func (e *Engine) WithSnapshot(fn func(sketch.Sketch) error) error {
+	return e.WithSnapshotEpoch(func(s sketch.Sketch, _ int64) error { return fn(s) })
+}
+
+// WithSnapshotEpoch is WithSnapshot plus the ingest epoch the snapshot
+// was stamped with — the cache-invalidation token the HTTP tier turns
+// into ETags and X-Sketch-Epoch headers. The stamp is monotone and
+// conservative: two calls observing the same epoch saw byte-identical
+// sketch state (a snapshot is only rebuilt when the epoch has moved),
+// while an ingest racing the build may yield a fresh epoch over
+// unchanged state — a cache rebuild, never staleness. The ownership
+// rules of WithSnapshot apply unchanged.
+func (e *Engine) WithSnapshotEpoch(fn func(s sketch.Sketch, epoch int64) error) error {
 	e.snapMu.Lock()
 	defer e.snapMu.Unlock()
 	s, err := e.cachedSnapshot()
 	if err != nil {
 		return err
 	}
-	return fn(s)
+	return fn(s, e.snapEpoch)
 }
 
 // Query answers from the cached merged snapshot of all shards,

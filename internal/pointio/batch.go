@@ -11,14 +11,26 @@ package pointio
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
 	"strings"
+	"sync"
 
 	"repro/internal/geom"
+)
+
+// bodyBufPool recycles the transient byte buffers ReadBinaryBatch reads
+// request bodies into, and scanBufPool the line buffers ReadTextBatch
+// scans with — per-request allocations that would otherwise dominate the
+// ingest hot path. Only the scratch is pooled; decoded points are owned
+// by the caller.
+var (
+	bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+	scanBufPool = sync.Pool{New: func() any { b := make([]byte, 64<<10); return &b }}
 )
 
 // BinaryContentType is the Content-Type selecting the packed-binary
@@ -49,7 +61,9 @@ func ReadTextBatch(r io.Reader, dim int) ([]geom.Point, error) {
 		return nil, fmt.Errorf("pointio: dimension must be ≥ 1, got %d", dim)
 	}
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	scanBuf := scanBufPool.Get().(*[]byte)
+	defer scanBufPool.Put(scanBuf)
+	sc.Buffer(*scanBuf, 1<<20)
 	var pts []geom.Point
 	lineNo := 0
 	for sc.Scan() {
@@ -91,32 +105,38 @@ func ReadTextBatch(r io.Reader, dim int) ([]geom.Point, error) {
 // ReadBinaryBatch reads a packed-binary ingest body: a sequence of
 // little-endian float64 coordinates, dim per point, no framing — a body
 // of 8·dim·n bytes is n points. Misaligned bodies and non-finite
-// coordinates are rejected.
+// coordinates are rejected. The body scratch is pooled and the decoded
+// points share one backing coordinate array (one allocation per batch
+// instead of one per point); the points are independent of the reader
+// and owned by the caller.
 func ReadBinaryBatch(r io.Reader, dim int) ([]geom.Point, error) {
 	if dim < 1 {
 		return nil, fmt.Errorf("pointio: dimension must be ≥ 1, got %d", dim)
 	}
-	data, err := io.ReadAll(r)
-	if err != nil {
+	buf := bodyBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bodyBufPool.Put(buf)
+	if _, err := buf.ReadFrom(r); err != nil {
 		return nil, err
 	}
+	data := buf.Bytes()
 	stride := 8 * dim
 	if len(data)%stride != 0 {
 		return nil, fmt.Errorf("pointio: binary body of %d bytes is not a multiple of %d (dim %d × 8)",
 			len(data), stride, dim)
 	}
-	pts := make([]geom.Point, 0, len(data)/stride)
-	for off := 0; off < len(data); off += stride {
-		p := make(geom.Point, dim)
-		for i := 0; i < dim; i++ {
-			bits := binary.LittleEndian.Uint64(data[off+8*i:])
-			v := math.Float64frombits(bits)
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, fmt.Errorf("pointio: point %d has non-finite coordinate", off/stride)
-			}
-			p[i] = v
+	n := len(data) / stride
+	coords := make([]float64, n*dim)
+	for i := range coords {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("pointio: point %d has non-finite coordinate", i/dim)
 		}
-		pts = append(pts, p)
+		coords[i] = v
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point(coords[i*dim : (i+1)*dim : (i+1)*dim])
 	}
 	return pts, nil
 }

@@ -30,6 +30,8 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -87,6 +89,15 @@ type Config struct {
 // batch). The cluster gateway forwards it unchanged when routing.
 const StampHeader = "X-Sketch-Stamp"
 
+// EpochHeader is the response header stamping GET /sketch and GET /query
+// answers with the ingest epoch of the snapshot they were served from.
+// Together with the strong ETag (derived from the epoch and the server's
+// start time, so a restart never revalidates stale state) it is the
+// cache token behind conditional GETs: a client that re-sends the ETag
+// in If-None-Match gets 304 Not Modified while no ingest has landed.
+// The cluster gateway keys its federated cache on exactly this.
+const EpochHeader = "X-Sketch-Epoch"
+
 // Server is the HTTP front end. All handlers are safe for concurrent use;
 // ingest and query scale independently (queries hit the engine's snapshot
 // cache, so a read-heavy load between ingests costs one merge total).
@@ -97,6 +108,20 @@ type Server struct {
 
 	ingestRequests atomic.Int64
 	pointsIngested atomic.Int64
+
+	// Per-epoch marshal cache for GET /sketch: serializing the merged
+	// snapshot is O(entries) with real allocations, and between ingests
+	// every export produces identical bytes — so the serialized envelope
+	// is kept alongside the engine's snapshot cache and invalidated by
+	// the same epoch. Guarded by sketchMu.
+	sketchMu    sync.Mutex
+	sketchBlob  []byte
+	sketchEpoch int64
+	sketchValid bool
+
+	sketchCacheHits   atomic.Int64 // /sketch served from the cached marshal
+	sketchCacheMisses atomic.Int64 // /sketch re-serialized (epoch moved)
+	notModified       atomic.Int64 // conditional GETs answered 304
 }
 
 // New builds a Server around an engine.
@@ -169,6 +194,15 @@ type StatsResponse struct {
 	// Windowed reports whether this daemon serves time-windowed sketches
 	// (ingest batches are stamped; queries answer over the current window).
 	Windowed bool `json:"windowed"`
+	// SketchCacheHits counts GET /sketch responses served from the
+	// per-epoch cached marshal without re-serializing.
+	SketchCacheHits int64 `json:"sketch_cache_hits"`
+	// SketchCacheMisses counts GET /sketch responses that had to
+	// serialize the snapshot (the epoch moved since the last export).
+	SketchCacheMisses int64 `json:"sketch_cache_misses"`
+	// NotModified counts conditional GETs (If-None-Match) answered with
+	// 304 and no body.
+	NotModified int64 `json:"not_modified"`
 }
 
 // CheckpointResponse is the JSON body of a successful POST /checkpoint.
@@ -313,14 +347,66 @@ func QueryErrorStatus(err error) int {
 	}
 }
 
+// etag is the strong validator of the snapshot at the given ingest
+// epoch. The server start time is part of it so that a restarted daemon
+// (whose epoch counter restarts too) never revalidates a client's stale
+// cache entry.
+func (s *Server) etag(epoch int64) string {
+	return fmt.Sprintf("\"%x-%x\"", s.start.UnixNano(), epoch)
+}
+
+// MatchETag reports whether the request's If-None-Match header matches
+// the resource's current strong ETag — the conditional-GET test shared
+// by the daemon's and the cluster gateway's handlers.
+func MatchETag(r *http.Request, etag string) bool {
+	h := r.Header.Get("If-None-Match")
+	if h == "" {
+		return false
+	}
+	for _, cand := range strings.Split(h, ",") {
+		cand = strings.TrimSpace(cand)
+		if cand == "*" || cand == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// stampSnapshot sets the cache-token response headers for a snapshot
+// served at the given epoch.
+func (s *Server) stampSnapshot(w http.ResponseWriter, epoch int64) {
+	w.Header().Set(EpochHeader, strconv.FormatInt(epoch, 10))
+	w.Header().Set("ETag", s.etag(epoch))
+}
+
+// writeNotModified answers a conditional GET whose validator still
+// matches: 304, cache-token headers only, no body.
+func (s *Server) writeNotModified(w http.ResponseWriter, epoch int64) {
+	s.notModified.Add(1)
+	s.stampSnapshot(w, epoch)
+	w.WriteHeader(http.StatusNotModified)
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	k, err := ParseK(r)
 	if err != nil {
 		WriteError(w, http.StatusBadRequest, err)
 		return
 	}
-	var resp QueryResponse
-	err = s.cfg.Engine.WithSnapshot(func(sk sketch.Sketch) error {
+	var (
+		resp   QueryResponse
+		epoch  int64
+		notMod bool
+	)
+	err = s.cfg.Engine.WithSnapshotEpoch(func(sk sketch.Sketch, ep int64) error {
+		epoch = ep
+		if MatchETag(r, s.etag(ep)) {
+			// Nothing ingested since the client's last fetch: the estimate
+			// is unchanged (samples would merely re-randomize), so the
+			// cached representation is still valid.
+			notMod = true
+			return nil
+		}
 		var qerr error
 		resp, qerr = AnswerQuery(sk, k)
 		return qerr
@@ -329,22 +415,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, QueryErrorStatus(err), err)
 		return
 	}
+	if notMod {
+		s.writeNotModified(w, epoch)
+		return
+	}
+	s.stampSnapshot(w, epoch)
 	WriteJSON(w, http.StatusOK, resp)
 }
 
 // handleSketch exports the engine's cached merged snapshot in the
 // pkg/sketch versioned envelope — the federation hook: a cluster gateway
 // fetches these from every peer, Deserializes, and Merges. The response
-// carries the sketch family in the X-Sketch-Kind header. An empty engine
-// still serializes (an empty sketch merges as a no-op); a family with no
-// wire format answers 501.
-func (s *Server) handleSketch(w http.ResponseWriter, _ *http.Request) {
-	var blob []byte
-	err := s.cfg.Engine.WithSnapshot(func(sk sketch.Sketch) error {
-		b, serr := sk.Serialize()
-		blob = b
-		return serr
-	})
+// carries the sketch family in the X-Sketch-Kind header, the snapshot's
+// ingest epoch in X-Sketch-Epoch, and a strong ETag; a conditional GET
+// whose If-None-Match still matches answers 304 with no body, and the
+// serialized envelope itself is cached per epoch, so repeated exports of
+// a quiescent engine serialize nothing. An empty engine still serializes
+// (an empty sketch merges as a no-op); a family with no wire format
+// answers 501.
+func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
+	blob, epoch, err := s.marshaledSnapshot(r)
 	switch {
 	case err == nil:
 	case errors.Is(err, sketch.ErrNotSerializable):
@@ -354,7 +444,42 @@ func (s *Server) handleSketch(w http.ResponseWriter, _ *http.Request) {
 		WriteError(w, http.StatusInternalServerError, err)
 		return
 	}
+	if blob == nil {
+		s.writeNotModified(w, epoch)
+		return
+	}
+	s.stampSnapshot(w, epoch)
 	WriteSketch(w, blob)
+}
+
+// marshaledSnapshot returns the serialized merged snapshot and its
+// epoch, re-serializing only when the epoch has moved since the last
+// export. A nil blob with a nil error means the request's If-None-Match
+// already matches the current epoch — answer 304. The cached blob is
+// shared between responses; it is never mutated after being built.
+func (s *Server) marshaledSnapshot(r *http.Request) (blob []byte, epoch int64, err error) {
+	s.sketchMu.Lock()
+	defer s.sketchMu.Unlock()
+	err = s.cfg.Engine.WithSnapshotEpoch(func(sk sketch.Sketch, ep int64) error {
+		epoch = ep
+		if MatchETag(r, s.etag(ep)) {
+			return nil // 304: skip both the marshal and the body
+		}
+		if s.sketchValid && s.sketchEpoch == ep {
+			s.sketchCacheHits.Add(1)
+			blob = s.sketchBlob
+			return nil
+		}
+		b, serr := sk.Serialize()
+		if serr != nil {
+			return serr
+		}
+		s.sketchCacheMisses.Add(1)
+		s.sketchBlob, s.sketchEpoch, s.sketchValid = b, ep, true
+		blob = b
+		return nil
+	})
+	return blob, epoch, err
 }
 
 // WriteSketch writes a serialized sketch blob as the response body, with
@@ -379,6 +504,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		IngestRequests:         s.ingestRequests.Load(),
 		PointsIngested:         s.pointsIngested.Load(),
 		Windowed:               s.cfg.Windowed,
+		SketchCacheHits:        s.sketchCacheHits.Load(),
+		SketchCacheMisses:      s.sketchCacheMisses.Load(),
+		NotModified:            s.notModified.Load(),
 	})
 }
 

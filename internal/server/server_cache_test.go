@@ -1,0 +1,201 @@
+package server_test
+
+// Conditional-GET e2e suite: GET /sketch and GET /query stamp responses
+// with the snapshot's ingest epoch and a strong ETag, honor
+// If-None-Match with 304, and /sketch serves the serialized envelope
+// from a per-epoch cache — ingesting anything (and only that)
+// invalidates all of it.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/pointio"
+	"repro/internal/server"
+	"repro/pkg/sketch"
+)
+
+// newCacheTestServer spins up an in-process daemon over a 2-shard
+// sampler engine.
+func newCacheTestServer(t *testing.T) (*engine.Engine, *httptest.Server) {
+	t.Helper()
+	opts := core.Options{Alpha: 1, Dim: 2, Seed: 9, StreamBound: 1 << 12, Kappa: 128}
+	eng, err := engine.NewSamplerEngine(opts, engine.Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Engine: eng, Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); eng.Close() })
+	return eng, ts
+}
+
+func ingestPoints(t *testing.T, url string, pts []geom.Point) {
+	t.Helper()
+	resp, err := http.Post(url+"/ingest", pointio.BinaryContentType,
+		bytes.NewReader(pointio.AppendBinaryBatch(nil, pts)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+}
+
+// condGet issues a GET with an optional If-None-Match validator and
+// returns the response with the body read.
+func condGet(t *testing.T, url, etag string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func serverStats(t *testing.T, url string) server.StatsResponse {
+	t.Helper()
+	resp, body := condGet(t, url+"/stats", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	var st server.StatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestSketchConditionalGet covers the /sketch cache token end to end:
+// epoch + ETag stamping, the per-epoch marshal cache, 304 revalidation,
+// and invalidation by ingest.
+func TestSketchConditionalGet(t *testing.T) {
+	_, ts := newCacheTestServer(t)
+	ingestPoints(t, ts.URL, []geom.Point{{1, 2}, {50, 50}, {1.1, 2.1}})
+
+	resp1, body1 := condGet(t, ts.URL+"/sketch", "")
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("sketch status %d", resp1.StatusCode)
+	}
+	etag := resp1.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on /sketch")
+	}
+	epoch, err := strconv.ParseInt(resp1.Header.Get(server.EpochHeader), 10, 64)
+	if err != nil || epoch < 1 {
+		t.Fatalf("bad %s %q", server.EpochHeader, resp1.Header.Get(server.EpochHeader))
+	}
+	if _, err := sketch.Deserialize(body1); err != nil {
+		t.Fatalf("body is not a sketch envelope: %v", err)
+	}
+
+	// Unconditional re-fetch: identical validator, served from the
+	// per-epoch marshal cache.
+	resp2, body2 := condGet(t, ts.URL+"/sketch", "")
+	if resp2.Header.Get("ETag") != etag || !bytes.Equal(body1, body2) {
+		t.Fatal("quiescent /sketch changed its representation")
+	}
+	st := serverStats(t, ts.URL)
+	if st.SketchCacheHits < 1 || st.SketchCacheMisses != 1 {
+		t.Fatalf("marshal cache hits/misses = %d/%d, want ≥1/1", st.SketchCacheHits, st.SketchCacheMisses)
+	}
+
+	// Conditional re-fetch: 304, no body, headers still stamped.
+	resp3, body3 := condGet(t, ts.URL+"/sketch", etag)
+	if resp3.StatusCode != http.StatusNotModified || len(body3) != 0 {
+		t.Fatalf("revalidation: status %d body %d bytes, want 304 empty", resp3.StatusCode, len(body3))
+	}
+	if resp3.Header.Get("ETag") != etag || resp3.Header.Get(server.EpochHeader) == "" {
+		t.Fatal("304 lost its cache-token headers")
+	}
+
+	// Ingest invalidates: the validator moves and the body is served again.
+	ingestPoints(t, ts.URL, []geom.Point{{200, 200}})
+	resp4, body4 := condGet(t, ts.URL+"/sketch", etag)
+	if resp4.StatusCode != http.StatusOK || len(body4) == 0 {
+		t.Fatalf("post-ingest revalidation: status %d, want 200 with body", resp4.StatusCode)
+	}
+	if resp4.Header.Get("ETag") == etag {
+		t.Fatal("ETag did not change after ingest")
+	}
+	epoch4, _ := strconv.ParseInt(resp4.Header.Get(server.EpochHeader), 10, 64)
+	if epoch4 <= epoch {
+		t.Fatalf("epoch did not advance: %d → %d", epoch, epoch4)
+	}
+	st = serverStats(t, ts.URL)
+	if st.NotModified != 1 {
+		t.Fatalf("not_modified = %d, want 1", st.NotModified)
+	}
+}
+
+// TestQueryConditionalGet covers /query: same token semantics, and ?k=
+// variants are distinct resources that share the epoch validator.
+func TestQueryConditionalGet(t *testing.T) {
+	_, ts := newCacheTestServer(t)
+	ingestPoints(t, ts.URL, []geom.Point{{1, 2}, {50, 50}, {100, 100}})
+
+	resp1, body1 := condGet(t, ts.URL+"/query", "")
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp1.StatusCode)
+	}
+	etag := resp1.Header.Get("ETag")
+	if etag == "" || resp1.Header.Get(server.EpochHeader) == "" {
+		t.Fatal("query response not stamped with cache tokens")
+	}
+	var q server.QueryResponse
+	if err := json.Unmarshal(body1, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Estimate != 3 {
+		t.Fatalf("estimate %g, want 3", q.Estimate)
+	}
+
+	resp2, body2 := condGet(t, ts.URL+"/query", etag)
+	if resp2.StatusCode != http.StatusNotModified || len(body2) != 0 {
+		t.Fatalf("query revalidation: status %d, want 304", resp2.StatusCode)
+	}
+
+	// A multi-sample variant still answers under the same epoch.
+	resp3, _ := condGet(t, ts.URL+"/query?k=2", "")
+	if resp3.StatusCode != http.StatusOK || resp3.Header.Get("ETag") != etag {
+		t.Fatalf("k=2 status %d etag %q, want 200 with shared validator %q",
+			resp3.StatusCode, resp3.Header.Get("ETag"), etag)
+	}
+
+	ingestPoints(t, ts.URL, []geom.Point{{300, 300}})
+	resp4, body4 := condGet(t, ts.URL+"/query", etag)
+	if resp4.StatusCode != http.StatusOK {
+		t.Fatalf("post-ingest query status %d", resp4.StatusCode)
+	}
+	if err := json.Unmarshal(body4, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Estimate != 4 {
+		t.Fatalf("post-ingest estimate %g, want 4 (stale cache?)", q.Estimate)
+	}
+}

@@ -71,9 +71,17 @@ func (k Kind) String() string {
 	}
 }
 
-// envelopeVersion is the current serialization format version. Decoders
-// accept only this version; bump it on any incompatible payload change.
-const envelopeVersion = 1
+// envelopeVersion is the current serialization format version: version 2
+// payloads use the hand-rolled length-prefixed binary formats of
+// internal/core and internal/f0, version 1 payloads the retired gob
+// forms. Encoders write envelopeVersion; decoders accept every version
+// in [envelopeMinVersion, envelopeVersion] (the family decoders sniff a
+// per-format magic, so either payload codec decodes under either
+// envelope version).
+const (
+	envelopeVersion    = 2
+	envelopeMinVersion = 1
+)
 
 // envelopeMagic tags serialized sketches so that foreign blobs fail fast
 // with a clear error instead of a gob decode failure.
@@ -98,8 +106,9 @@ func decodeEnvelope(data []byte) (Kind, []byte, error) {
 	if string(data[:4]) != string(envelopeMagic[:]) {
 		return KindInvalid, nil, fmt.Errorf("sketch: not a serialized sketch (bad magic)")
 	}
-	if v := data[4]; v != envelopeVersion {
-		return KindInvalid, nil, fmt.Errorf("sketch: unsupported format version %d (want %d)", v, envelopeVersion)
+	if v := data[4]; v < envelopeMinVersion || v > envelopeVersion {
+		return KindInvalid, nil, fmt.Errorf("sketch: unsupported format version %d (want %d–%d)",
+			v, envelopeMinVersion, envelopeVersion)
 	}
 	return Kind(data[5]), data[envelopeHeaderLen:], nil
 }

@@ -19,6 +19,14 @@
 // the default -bench selection: a custom -bench deliberately narrows
 // the run, so the baseline check is skipped unless -require is given
 // explicitly.
+//
+// -compare old.json diffs the fresh run against a previous report and
+// prints per-benchmark ns/op changes; benchmarks regressing more than
+// -max-regress percent are flagged with a WARNING line. The flags warn
+// by default — CI runs on noisy shared runners — and only fail the run
+// when -fail-on-regress is set:
+//
+//	go run ./tools/benchjson -compare BENCH_engine.json -max-regress 20 -out /tmp/new.json
 package main
 
 import (
@@ -69,12 +77,15 @@ type Report struct {
 
 func main() {
 	var (
-		bench     = flag.String("bench", "BenchmarkEngineProcess|BenchmarkWindowEngineProcess|BenchmarkGatewayQuery", "benchmark selection regexp passed to go test -bench")
+		bench     = flag.String("bench", "BenchmarkEngineProcess|BenchmarkWindowEngineProcess|BenchmarkGatewayQuery|BenchmarkSketchMarshal", "benchmark selection regexp passed to go test -bench")
 		benchtime = flag.String("benchtime", "1x", "go test -benchtime value (e.g. 1x, 100x, 2s)")
 		pkg       = flag.String("pkg", ".", "package pattern to benchmark")
 		out       = flag.String("out", "BENCH_engine.json", "output JSON file")
-		require   = flag.String("require", "BenchmarkEngineProcess,BenchmarkWindowEngineProcess,BenchmarkGatewayQuery",
+		require   = flag.String("require", "BenchmarkEngineProcess,BenchmarkWindowEngineProcess,BenchmarkGatewayQuery,BenchmarkGatewayQueryWarm,BenchmarkSketchMarshal",
 			"comma-separated benchmark name prefixes that must appear in the results (empty disables the check; the default applies only with the default -bench)")
+		compare    = flag.String("compare", "", "previous report JSON to diff the fresh run against (ns/op)")
+		maxRegress = flag.Float64("max-regress", 20, "percent ns/op slowdown vs -compare above which a benchmark is flagged")
+		failRegr   = flag.Bool("fail-on-regress", false, "exit non-zero when any benchmark exceeds -max-regress (default: warn only)")
 	)
 	flag.Parse()
 	benchSet, requireSet := false, false
@@ -129,6 +140,58 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("benchjson: %d benchmarks → %s\n", len(results), *out)
+	if *compare != "" {
+		regressed, err := compareReports(*compare, results, *maxRegress)
+		if err != nil {
+			fatal(err)
+		}
+		if regressed > 0 && *failRegr {
+			fatal(fmt.Errorf("%d benchmark(s) regressed more than %g%% vs %s", regressed, *maxRegress, *compare))
+		}
+	}
+}
+
+// compareReports diffs the fresh results against a previous report and
+// prints one line per benchmark present in both, flagging ns/op
+// slowdowns beyond maxRegress percent with WARNING. It returns the
+// number of flagged benchmarks. Benchmarks present in only one of the
+// two runs are skipped (renames are caught by -require).
+func compareReports(path string, results []Result, maxRegress float64) (int, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("reading comparison baseline: %w", err)
+	}
+	var old Report
+	if err := json.Unmarshal(blob, &old); err != nil {
+		return 0, fmt.Errorf("parsing comparison baseline %s: %w", path, err)
+	}
+	oldNs := make(map[string]float64, len(old.Benchmarks))
+	for _, r := range old.Benchmarks {
+		if v, ok := r.Metrics["ns/op"]; ok && v > 0 {
+			oldNs[r.Name] = v
+		}
+	}
+	regressed := 0
+	for _, r := range results {
+		was, ok := oldNs[r.Name]
+		if !ok {
+			continue
+		}
+		now, ok := r.Metrics["ns/op"]
+		if !ok || now <= 0 {
+			continue
+		}
+		pct := (now - was) / was * 100
+		switch {
+		case pct > maxRegress:
+			regressed++
+			fmt.Printf("benchjson: WARNING: %s regressed %+.1f%% ns/op (%.0f → %.0f, threshold %g%%)\n",
+				r.Name, pct, was, now, maxRegress)
+		default:
+			fmt.Printf("benchjson: %s %+.1f%% ns/op (%.0f → %.0f)\n", r.Name, pct, was, now)
+		}
+	}
+	return regressed, nil
 }
 
 // missingRequired returns the required benchmark prefixes (comma-
