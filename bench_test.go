@@ -26,7 +26,9 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"net/http/httptest"
+	"slices"
 	"testing"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/cluster"
@@ -372,10 +374,11 @@ func BenchmarkWindowEngineProcess(b *testing.B) {
 	}
 }
 
-// benchGatewayCluster spins up an in-process 3-peer cluster behind a
-// gateway, seeds it with 2^14 points, and returns the gateway URL — the
-// shared fixture of the BenchmarkGatewayQuery* family.
-func benchGatewayCluster(b *testing.B, noCache bool) string {
+// benchGatewayCluster spins up an in-process cluster of the given peer
+// count behind a gateway, seeds it with 2^14 points, and returns the
+// gateway URL — the shared fixture of the BenchmarkGatewayQuery* family.
+// mut tweaks the gateway config (push mode, cache off, …) before start.
+func benchGatewayCluster(b *testing.B, peers int, mut func(*cluster.Config)) string {
 	opts := core.Options{Alpha: 1, Dim: 2, Seed: 9, StreamBound: 1 << 20, Kappa: 128, HighDim: true}
 	rng := rand.New(rand.NewPCG(7, 11))
 	pts := make([]geom.Point, 1<<14)
@@ -386,7 +389,6 @@ func benchGatewayCluster(b *testing.B, noCache bool) string {
 	if err != nil {
 		b.Fatal(err)
 	}
-	const peers = 3
 	urls := make([]string, peers)
 	for i := 0; i < peers; i++ {
 		eng, err := engine.NewSamplerEngine(opts, engine.Config{Shards: 2})
@@ -401,12 +403,16 @@ func benchGatewayCluster(b *testing.B, noCache bool) string {
 		urls[i] = ts.URL
 		b.Cleanup(func() { ts.Close(); eng.Close() })
 	}
-	gw, err := cluster.New(cluster.Config{Peers: urls, Router: router, Dim: opts.Dim, NoCache: noCache})
+	cfg := cluster.Config{Peers: urls, Router: router, Dim: opts.Dim}
+	if mut != nil {
+		mut(&cfg)
+	}
+	gw, err := cluster.New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
 	gwts := httptest.NewServer(gw)
-	b.Cleanup(gwts.Close)
+	b.Cleanup(func() { gwts.Close(); gw.Close() })
 	resp, err := http.Post(gwts.URL+"/ingest", "application/octet-stream",
 		bytes.NewReader(pointio.AppendBinaryBatch(nil, pts)))
 	if err != nil {
@@ -419,11 +425,42 @@ func benchGatewayCluster(b *testing.B, noCache bool) string {
 	return gwts.URL
 }
 
+// benchWarmGateway issues untimed queries until the gateway is warm: for
+// a pull gateway one round fills the per-peer and merged caches; a push
+// gateway is additionally polled until it reports staleness 0 — every
+// watcher connected and the seed ingest's pushes folded in — so the
+// timed loop measures the quiescent serve-stale fast path.
+func benchWarmGateway(b *testing.B, url string, push bool) {
+	b.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url + "/query")
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("warm query status %d", resp.StatusCode)
+		}
+		if !push || resp.Header.Get(cluster.StalenessHeader) == "0" {
+			return
+		}
+		if time.Now().After(deadline) {
+			b.Fatal("push gateway did not settle")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 // benchGatewayQueries issues b.N sequential /query rounds and reports
-// queries/s.
+// queries/s plus the p50/p99 per-round latency (custom metrics, so the
+// tail is visible next to the mean ns/op).
 func benchGatewayQueries(b *testing.B, url string) {
 	b.Helper()
+	durs := make([]time.Duration, 0, b.N)
 	for i := 0; i < b.N; i++ {
+		start := time.Now()
 		resp, err := http.Get(url + "/query")
 		if err != nil {
 			b.Fatal(err)
@@ -433,8 +470,12 @@ func benchGatewayQueries(b *testing.B, url string) {
 		if resp.StatusCode != http.StatusOK {
 			b.Fatalf("query status %d", resp.StatusCode)
 		}
+		durs = append(durs, time.Since(start))
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	slices.Sort(durs)
+	b.ReportMetric(float64(durs[len(durs)/2]), "p50-ns")
+	b.ReportMetric(float64(durs[(len(durs)-1)*99/100]), "p99-ns")
 }
 
 // BenchmarkGatewayQuery measures repeated federated queries over an
@@ -445,27 +486,33 @@ func benchGatewayQueries(b *testing.B, url string) {
 // steady-state serving rate of a quiescent cluster, the common
 // read-heavy shape.
 func BenchmarkGatewayQuery(b *testing.B) {
-	url := benchGatewayCluster(b, false)
+	url := benchGatewayCluster(b, 3, nil)
 	b.ReportAllocs()
 	b.ResetTimer()
 	benchGatewayQueries(b, url)
 }
 
-// BenchmarkGatewayQueryWarm is the pure warm-cache path: one query
-// outside the timer warms the per-peer and merged caches, so every
-// measured round is three conditional GETs plus a cached answer — zero
-// deserializations, zero merges (the e2e test proves the counters).
+// BenchmarkGatewayQueryWarm is the warm steady-state serving path across
+// propagation modes and fan-outs. pull revalidates every peer with a
+// conditional GET per query, so its latency grows with the peer count;
+// push serves the cached fold with zero peer round trips on a quiescent
+// cluster, so its latency should stay flat from 1 to 8 peers — the
+// headline property of push-based epoch propagation.
 func BenchmarkGatewayQueryWarm(b *testing.B) {
-	url := benchGatewayCluster(b, false)
-	resp, err := http.Get(url + "/query")
-	if err != nil {
-		b.Fatal(err)
+	for _, mode := range []string{"pull", "push"} {
+		push := mode == "push"
+		for _, peers := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/peers=%d", mode, peers), func(b *testing.B) {
+				url := benchGatewayCluster(b, peers, func(c *cluster.Config) {
+					c.Push = push
+				})
+				benchWarmGateway(b, url, push)
+				b.ReportAllocs()
+				b.ResetTimer()
+				benchGatewayQueries(b, url)
+			})
+		}
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	b.ReportAllocs()
-	b.ResetTimer()
-	benchGatewayQueries(b, url)
 }
 
 // BenchmarkGatewayQueryCold forces the full fan-out every round by disabling
@@ -473,7 +520,7 @@ func BenchmarkGatewayQueryWarm(b *testing.B) {
 // re-folds all three peer snapshots — the pre-cache behavior, tracked so
 // the invalidation path cannot quietly regress.
 func BenchmarkGatewayQueryCold(b *testing.B) {
-	url := benchGatewayCluster(b, true)
+	url := benchGatewayCluster(b, 3, func(c *cluster.Config) { c.NoCache = true })
 	b.ReportAllocs()
 	b.ResetTimer()
 	benchGatewayQueries(b, url)

@@ -6,8 +6,16 @@
 // live peers, gather their serialized sketches, and answer from the
 // merged union.
 //
+// By default the gateway runs push-based epoch propagation: a watcher
+// per peer long-polls the peer's GET /watch, queries answer from the
+// cached federated fold instantly (X-Sketch-Staleness reports the age
+// bound), and a background refresher re-folds off the request path.
+// -max-stale bounds how stale a served fold may get; -push=false
+// reverts to per-query conditional-GET fan-outs.
+//
 //	sketchgw -dim 2 -alpha 0.5 -peers http://a:7070,http://b:7070,http://c:7070
 //	sketchgw -dim 2 -alpha 0.5 -peers ... -partial fail -timeout 2s
+//	sketchgw -dim 2 -alpha 0.5 -peers ... -max-stale 500ms -watch-timeout 10s
 //
 // Endpoints (full reference in docs/cluster.md):
 //
@@ -54,6 +62,10 @@ func main() {
 		downN    = flag.Int("down-after", 3, "consecutive failures before a peer's circuit breaker opens")
 		cooldown = flag.Duration("down-cooldown", 2*time.Second, "how long an open breaker skips a peer")
 		fedCache = flag.Bool("fed-cache", true, "cache peer snapshots and the federated fold keyed by the peers' ingest epochs (disable only for debugging)")
+		push     = flag.Bool("push", true, "push-based epoch propagation: watch peers for ingest pushes and serve queries from the cached fold, revalidating in the background (peers without /watch are polled)")
+		maxStale = flag.Duration("max-stale", 5*time.Second, "with -push, how stale a served fold may be before a query pays a synchronous refresh; negative = unbounded")
+		watchTO  = flag.Duration("watch-timeout", 25*time.Second, "with -push, the /watch long-poll timeout requested from peers")
+		pollIvl  = flag.Duration("poll-interval", 500*time.Millisecond, "with -push, the conditional-GET polling cadence for peers without /watch")
 	)
 	flag.Parse()
 
@@ -92,10 +104,15 @@ func main() {
 		DownAfter:      *downN,
 		DownCooldown:   *cooldown,
 		NoCache:        !*fedCache,
+		Push:           *push && *fedCache,
+		MaxStale:       *maxStale,
+		WatchTimeout:   *watchTO,
+		PollInterval:   *pollIvl,
 	})
 	if err != nil {
 		fatal(err)
 	}
+	defer gw.Close()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: gw}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -106,8 +123,12 @@ func main() {
 		if !*fedCache {
 			cache = "off"
 		}
-		log.Printf("sketchgw: %d peers, policy %s, federated cache %s, listening on %s",
-			len(urls), policy, cache, *addr)
+		mode := "pull"
+		if *push && *fedCache {
+			mode = fmt.Sprintf("push (max-stale %s)", *maxStale)
+		}
+		log.Printf("sketchgw: %d peers, policy %s, federated cache %s, propagation %s, listening on %s",
+			len(urls), policy, cache, mode, *addr)
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}

@@ -121,6 +121,7 @@ func newTestGateway(t *testing.T, opts core.Options, peers []*testPeer, mut func
 	}
 	ts := httptest.NewServer(gw)
 	t.Cleanup(ts.Close)
+	t.Cleanup(gw.Close) // LIFO: watchers stop before their server goes away
 	return gw, ts
 }
 

@@ -38,6 +38,7 @@ import (
 	"hash/fnv"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -146,11 +147,40 @@ type Config struct {
 	// re-deserializes, and re-folds every peer snapshot as if the peers'
 	// epochs had moved (conditional GETs are not sent). The gateway still
 	// serves correct ETags to its own clients. Intended for debugging and
-	// A/B measurement, not production.
+	// A/B measurement, not production. Incompatible with Push.
 	NoCache bool
 
-	// Client is the HTTP client for peer requests. Defaults to a fresh
-	// http.Client (per-attempt timeouts come from RequestTimeout).
+	// Push inverts the cache protocol from pull to push: one watcher
+	// goroutine per peer long-polls the peer's GET /watch for epoch bumps
+	// and marks the federated cache dirty, a background refresher re-folds
+	// off the request path, and queries serve the last good fold
+	// immediately (serve-stale-while-revalidate) instead of paying a
+	// conditional-GET fan-out. Peers without /watch (404) are watched by
+	// conditional-GET polling at PollInterval instead. The owner must call
+	// Close when done with a push gateway.
+	Push bool
+
+	// MaxStale bounds how stale a served fold may be under Push: when the
+	// cache is dirty (or the watchers are unhealthy) and the last good
+	// fold is older than MaxStale, the query pays a synchronous refresh
+	// instead of serving stale. 0 selects the 5s default; negative means
+	// no bound (always serve stale, revalidate in background).
+	MaxStale time.Duration
+
+	// WatchTimeout is the long-poll timeout requested from peers'
+	// GET /watch (the watcher reconnects on expiry). Defaults to 25s.
+	WatchTimeout time.Duration
+
+	// PollInterval is the conditional-GET polling cadence for peers that
+	// answered 404 to /watch (daemons predating the endpoint). Defaults
+	// to 500ms.
+	PollInterval time.Duration
+
+	// Client is the HTTP client for peer requests. Defaults to a client
+	// with a transport tuned for the fan-out: keep-alives with at least
+	// one idle connection per peer for scatter rounds plus one for the
+	// push watcher, so warm rounds never re-dial (per-attempt timeouts
+	// come from RequestTimeout).
 	Client *http.Client
 }
 
@@ -178,8 +208,25 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.MaxStale == 0 {
+		c.MaxStale = 5 * time.Second
+	}
+	if c.WatchTimeout <= 0 {
+		c.WatchTimeout = 25 * time.Second
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 500 * time.Millisecond
+	}
 	if c.Client == nil {
-		c.Client = &http.Client{}
+		// One warm connection per peer for scatter rounds plus one parked
+		// in the peer's /watch long-poll: without the headroom the
+		// stdlib's 2-per-host idle default closes and re-dials connections
+		// on every warm round once the fleet has more than a couple of
+		// peers.
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = max(8, 2*len(c.Peers))
+		tr.MaxIdleConns = max(tr.MaxIdleConns, 2*len(c.Peers)+8)
+		c.Client = &http.Client{Transport: tr}
 	}
 	return c
 }
@@ -215,16 +262,34 @@ type Gateway struct {
 	// its duration), followers wait for its outcome. Without this, a
 	// slow not-yet-broken peer would make every concurrent query pay its
 	// own full timeout-bounded round back to back.
-	flightMu    sync.Mutex
-	inflight    *flight
-	peerSnaps   []peerSnap
-	mergedKey   string
-	merged      sketch.Mergeable
-	mergedFo    fanout
-	mergedBlob  []byte // lazily serialized union for GET /sketch
-	mergedValid bool
-	answers     map[int]server.QueryResponse // per-k answers for mergedKey
-	nonce       atomic.Int64                 // validators for peers serving no ETag
+	flightMu     sync.Mutex
+	inflight     *flight
+	peerSnaps    []peerSnap
+	mergedKey    string
+	merged       sketch.Mergeable
+	mergedFo     fanout
+	mergedBlob   []byte // lazily serialized union for GET /sketch
+	mergedValid  bool
+	mergedEpochs []int64                      // per-peer ingest epochs of the fold; -1 = down/unknown
+	answers      map[int]server.QueryResponse // per-k answers for mergedKey
+	nonce        atomic.Int64                 // validators for peers serving no ETag
+
+	// Push-propagation state (see push.go). dirtyGen counts invalidation
+	// events observed by the watchers; lastRoundGen is the dirtyGen value
+	// a scatter round read *before* its network phase, stamped on install
+	// — the fold is stale exactly when dirtyGen > lastRoundGen, and a
+	// push landing during an in-flight round keeps the cache dirty
+	// because the round's startGen predates it (no lost invalidation).
+	// lastFresh is the unix-nano install time of the last good fold.
+	dirtyGen     atomic.Int64
+	lastRoundGen atomic.Int64
+	lastFresh    atomic.Int64
+	refreshKick  chan struct{}      // wakes the background refresher (capacity 1)
+	stop         chan struct{}      // closed by Close; stops watchers and refresher
+	stopCtx      context.Context    // canceled by Close; aborts in-flight watch polls
+	stopCancel   context.CancelFunc //
+	watcherWG    sync.WaitGroup
+	closeOnce    sync.Once
 
 	peerNotModified  atomic.Int64 // peer fetches answered 304 (cached snapshot reused)
 	fedBytesSaved    atomic.Int64 // envelope bytes not re-transferred thanks to 304s
@@ -234,6 +299,13 @@ type Gateway struct {
 	peerDeserializes atomic.Int64 // envelope deserializations performed
 	sketchMerges     atomic.Int64 // Mergeable.Merge folds performed
 	notModified      atomic.Int64 // gateway's own 304s served to clients
+
+	watchPushes        atomic.Int64 // epoch bumps received over /watch long-polls
+	watchPollFallbacks atomic.Int64 // watchers downgraded to conditional-GET polling (peer has no /watch)
+	bgRefreshes        atomic.Int64 // scatter rounds run by the background refresher
+	staleServes        atomic.Int64 // queries answered from the cached fold with zero request-path peer round trips
+	syncRefreshes      atomic.Int64 // push-mode queries that paid a synchronous refresh (cold, or staleness bound exceeded)
+	maxStalenessNs     atomic.Int64 // maximum fold staleness observed at serve time
 }
 
 // peerSnap is one peer's slot in the federated cache: the last envelope
@@ -245,7 +317,8 @@ type peerSnap struct {
 	etag     string
 	blob     []byte
 	sk       sketch.Sketch
-	degraded bool // peer (itself a gateway) flagged its fold partial
+	epoch    int64 // peer's ingest epoch (X-Sketch-Epoch); -1 when the peer serves none
+	degraded bool  // peer (itself a gateway) flagged its fold partial
 }
 
 // New builds a Gateway over the configured peers.
@@ -260,6 +333,9 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.Dim < 1 {
 		return nil, fmt.Errorf("cluster: Config.Dim must be ≥ 1, got %d", cfg.Dim)
 	}
+	if cfg.Push && cfg.NoCache {
+		return nil, fmt.Errorf("cluster: Push requires the federated cache (drop NoCache)")
+	}
 	g := &Gateway{cfg: cfg, mux: http.NewServeMux(), client: cfg.Client, start: time.Now()}
 	g.peerSnaps = make([]peerSnap, len(cfg.Peers))
 	g.answers = make(map[int]server.QueryResponse)
@@ -270,13 +346,37 @@ func New(cfg Config) (*Gateway, error) {
 			return nil, fmt.Errorf("cluster: peer %d: %q is not an absolute URL", i, raw)
 		}
 		g.peers[i] = &peer{url: strings.TrimRight(raw, "/")}
+		g.peers[i].watchOK.Store(true)
 	}
 	g.mux.HandleFunc("POST /ingest", g.handleIngest)
 	g.mux.HandleFunc("GET /query", g.handleQuery)
 	g.mux.HandleFunc("GET /sketch", g.handleSketch)
 	g.mux.HandleFunc("GET /stats", g.handleStats)
 	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
+	g.stop = make(chan struct{})
+	g.stopCtx, g.stopCancel = context.WithCancel(context.Background())
+	if cfg.Push {
+		g.refreshKick = make(chan struct{}, 1)
+		g.watcherWG.Add(1)
+		go g.refresher()
+		for i, p := range g.peers {
+			g.watcherWG.Add(1)
+			go g.watchPeer(i, p)
+		}
+	}
 	return g, nil
+}
+
+// Close stops the push machinery: the per-peer watchers (aborting their
+// in-flight long-polls) and the background refresher. Idempotent; a
+// no-op for pull gateways. In-flight HTTP requests served by the
+// gateway are unaffected.
+func (g *Gateway) Close() {
+	g.closeOnce.Do(func() {
+		close(g.stop)
+		g.stopCancel()
+	})
+	g.watcherWG.Wait()
 }
 
 // ServeHTTP implements http.Handler.
@@ -318,6 +418,9 @@ type PeerStatus struct {
 	ConsecutiveFailures int64 `json:"consecutive_failures"`
 	// LastError is the most recent failure, if any.
 	LastError string `json:"last_error,omitempty"`
+	// WatchOK reports whether the peer's push watcher (or its polling
+	// fallback) is healthy. Always true on pull gateways.
+	WatchOK bool `json:"watch_ok"`
 }
 
 // StatsResponse is the JSON body of GET /stats: gateway-local counters
@@ -338,7 +441,9 @@ type StatsResponse struct {
 	IngestRequests int64 `json:"ingest_requests"`
 	// PointsRouted counts points forwarded to peers.
 	PointsRouted int64 `json:"points_routed"`
-	// Queries counts GET /query and GET /sketch fan-outs.
+	// Queries counts GET /query and GET /sketch requests served (each is
+	// a fan-out on a pull gateway; on a push gateway most are answered
+	// from the cached fold with no fan-out at all).
 	Queries int64 `json:"queries"`
 	// PartialQueries counts fan-outs answered from a strict peer subset.
 	PartialQueries int64 `json:"partial_queries"`
@@ -366,6 +471,26 @@ type StatsResponse struct {
 	// NotModified counts the gateway's own 304 responses to conditional
 	// GETs from its clients (e.g. a higher-tier gateway).
 	NotModified int64 `json:"not_modified"`
+	// Push reports whether push-based epoch propagation is enabled.
+	Push bool `json:"push"`
+	// WatchPushes counts epoch bumps received from peers over /watch
+	// long-polls (each marks the federated cache dirty).
+	WatchPushes int64 `json:"watch_pushes"`
+	// WatchPollFallbacks counts watchers that downgraded to
+	// conditional-GET polling because the peer has no /watch endpoint.
+	WatchPollFallbacks int64 `json:"watch_poll_fallbacks"`
+	// BgRefreshes counts scatter rounds run by the background refresher,
+	// off the request path.
+	BgRefreshes int64 `json:"bg_refreshes"`
+	// StaleServes counts push-mode queries answered from the cached fold
+	// with zero peer round trips on the request path.
+	StaleServes int64 `json:"stale_serves"`
+	// SyncRefreshes counts push-mode queries that paid a synchronous
+	// fan-out (cold cache, or the staleness bound was exceeded).
+	SyncRefreshes int64 `json:"sync_refreshes"`
+	// MaxStalenessMS is the maximum fold staleness observed at serve
+	// time, in milliseconds (0 until a stale fold is ever served).
+	MaxStalenessMS float64 `json:"max_staleness_ms"`
 }
 
 // peerIndex maps a point to its home peer. The routing-cell hash is
@@ -416,6 +541,7 @@ func (f fanout) partial() bool { return len(f.failed)+len(f.degraded) > 0 }
 type scatterResult struct {
 	ok        bool
 	validator string // cache-key part: the peer's ETag (or a nonce); "down" on failure
+	epoch     int64  // peer's ingest epoch; -1 when down or not served
 	degraded  bool
 }
 
@@ -438,7 +564,6 @@ type flight struct {
 // disconnect; per-attempt timeouts still bound it), so followers never
 // inherit a stranger's cancellation.
 func (g *Gateway) refresh(ctx context.Context) error {
-	g.queries.Add(1)
 	g.flightMu.Lock()
 	if f := g.inflight; f != nil {
 		g.flightMu.Unlock()
@@ -474,11 +599,17 @@ func (g *Gateway) refresh(ctx context.Context) error {
 // the cache is left untouched in both cases.
 func (g *Gateway) scatter(ctx context.Context) error {
 	useCache := !g.cfg.NoCache
+	// The generation read MUST precede the network round: an invalidation
+	// that lands while the round is in flight may or may not be reflected
+	// in the fetched snapshots, so stamping any later generation on
+	// install could mark the cache clean past an unseen ingest.
+	startGen := g.dirtyGen.Load()
 	res := make([]scatterResult, len(g.peers))
 	errs := make([]error, len(g.peers))
 	now := time.Now()
 	var wg sync.WaitGroup
 	for i, p := range g.peers {
+		res[i].epoch = -1
 		if !p.admit(now, g.cfg.DownCooldown) {
 			errs[i] = fmt.Errorf("cluster: peer %s is down (circuit open)", p.url)
 			res[i].validator = "down"
@@ -503,7 +634,7 @@ func (g *Gateway) scatter(ctx context.Context) error {
 			if status == http.StatusNotModified {
 				g.peerNotModified.Add(1)
 				g.fedBytesSaved.Add(int64(len(snap.blob)))
-				res[i] = scatterResult{ok: true, validator: snap.validator(), degraded: snap.degraded}
+				res[i] = scatterResult{ok: true, validator: snap.validator(), epoch: snap.epoch, degraded: snap.degraded}
 				return
 			}
 			sk, err := sketch.Deserialize(blob)
@@ -518,6 +649,7 @@ func (g *Gateway) scatter(ctx context.Context) error {
 				etag:     etag,
 				blob:     blob,
 				sk:       sk,
+				epoch:    peerEpoch(hdr),
 				degraded: hdr.Get(partialHeader) == "true",
 			}
 			v := snap.validator()
@@ -527,7 +659,7 @@ func (g *Gateway) scatter(ctx context.Context) error {
 				// serving a stale fold.
 				v = fmt.Sprintf("nocache-%d", g.nonce.Add(1))
 			}
-			res[i] = scatterResult{ok: true, validator: v, degraded: snap.degraded}
+			res[i] = scatterResult{ok: true, validator: v, epoch: snap.epoch, degraded: snap.degraded}
 		}(i, p)
 	}
 	wg.Wait()
@@ -554,6 +686,10 @@ func (g *Gateway) scatter(ctx context.Context) error {
 			strings.Join(append(append([]string(nil), fo.failed...), fo.degraded...), ", "))
 	}
 	key := strings.Join(parts, "|")
+	epochs := make([]int64, len(res))
+	for i, r := range res {
+		epochs[i] = r.epoch
+	}
 	// The fold and install mutate the cache read by the answer phase of
 	// the handlers — from here on the round holds cacheMu (in-memory
 	// work only; the network round above ran without it).
@@ -561,6 +697,7 @@ func (g *Gateway) scatter(ctx context.Context) error {
 	defer g.cacheMu.Unlock()
 	if useCache && g.mergedValid && key == g.mergedKey {
 		g.fedCacheHits.Add(1)
+		g.markFresh(startGen)
 		return nil
 	}
 	g.fedCacheMisses.Add(1)
@@ -594,8 +731,29 @@ func (g *Gateway) scatter(ctx context.Context) error {
 	g.merged, g.mergedFo, g.mergedKey = merged, fo, key
 	g.mergedValid = useCache
 	g.mergedBlob = nil
+	g.mergedEpochs = epochs
 	clear(g.answers)
+	g.markFresh(startGen)
 	return nil
+}
+
+// markFresh stamps a successfully installed (or revalidated) fold: the
+// cache now reflects every invalidation up to startGen, and its age
+// clock restarts.
+func (g *Gateway) markFresh(startGen int64) {
+	g.lastRoundGen.Store(startGen)
+	g.lastFresh.Store(time.Now().UnixNano())
+}
+
+// peerEpoch parses the peer's X-Sketch-Epoch response header; -1 when
+// absent or malformed (e.g. a stacked gateway, which serves validator
+// ETags but no single epoch).
+func peerEpoch(hdr http.Header) int64 {
+	v, err := strconv.ParseInt(hdr.Get(server.EpochHeader), 10, 64)
+	if err != nil || v < 0 {
+		return -1
+	}
+	return v
 }
 
 // validator is the peer's cache-key part: its ETag, suffixed when the
@@ -634,12 +792,18 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 		server.WriteError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := g.refresh(r.Context()); err != nil {
+	g.queries.Add(1)
+	if g.cfg.Push {
+		if !g.ensureFreshPush(w, r) {
+			return
+		}
+	} else if err := g.refresh(r.Context()); err != nil {
 		server.WriteError(w, federateStatus(err), err)
 		return
 	}
 	g.cacheMu.Lock()
 	defer g.cacheMu.Unlock()
+	g.setPushHeadersLocked(w)
 	fo := g.mergedFo
 	resp := QueryResponse{
 		Partial:       fo.partial(),
@@ -694,12 +858,18 @@ func (g *Gateway) exportETag() string {
 // partial fold is marked with X-Sketch-Partial: true (PartialDegrade)
 // rather than served silently.
 func (g *Gateway) handleSketch(w http.ResponseWriter, r *http.Request) {
-	if err := g.refresh(r.Context()); err != nil {
+	g.queries.Add(1)
+	if g.cfg.Push {
+		if !g.ensureFreshPush(w, r) {
+			return
+		}
+	} else if err := g.refresh(r.Context()); err != nil {
 		server.WriteError(w, federateStatus(err), err)
 		return
 	}
 	g.cacheMu.Lock()
 	defer g.cacheMu.Unlock()
+	g.setPushHeadersLocked(w)
 	fo := g.mergedFo
 	etag := g.exportETag()
 	w.Header().Set("ETag", etag)
@@ -856,6 +1026,14 @@ func (g *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
 		PeerDeserializes: g.peerDeserializes.Load(),
 		SketchMerges:     g.sketchMerges.Load(),
 		NotModified:      g.notModified.Load(),
+
+		Push:               g.cfg.Push,
+		WatchPushes:        g.watchPushes.Load(),
+		WatchPollFallbacks: g.watchPollFallbacks.Load(),
+		BgRefreshes:        g.bgRefreshes.Load(),
+		StaleServes:        g.staleServes.Load(),
+		SyncRefreshes:      g.syncRefreshes.Load(),
+		MaxStalenessMS:     float64(g.maxStalenessNs.Load()) / 1e6,
 	}
 	for i, p := range g.peers {
 		up := p.up()
@@ -869,6 +1047,7 @@ func (g *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Failures:            p.failures.Load(),
 			ConsecutiveFailures: p.consec.Load(),
 			LastError:           p.lastError(),
+			WatchOK:             p.watchOK.Load(),
 		}
 	}
 	server.WriteJSON(w, http.StatusOK, resp)

@@ -1,0 +1,338 @@
+package cluster
+
+// Push-based epoch propagation: the serve-stale-while-revalidate side of
+// the gateway (Config.Push). One watcher goroutine per peer long-polls
+// the peer's GET /watch; an epoch bump marks the federated cache dirty
+// and wakes the background refresher, which singleflights a scatter
+// round off the request path. Queries then serve the last good fold
+// immediately — the paper's mergeability is what makes that sound: a
+// slightly stale merged sketch is still a valid sketch over a slightly
+// earlier prefix of the stream, so freshness can be bounded by
+// propagation delay (MaxStale) instead of query-time fan-out.
+//
+// Invalidation protocol (no lost pushes): dirtyGen counts invalidation
+// events; a scatter round reads startGen before its network phase and
+// stamps lastRoundGen = startGen only on a successful install. A push
+// landing during an in-flight round raises dirtyGen past the round's
+// startGen, so the cache stays dirty and the refresher immediately runs
+// another round — the final fold always reflects the latest epoch.
+//
+// Peers without /watch (daemons predating the endpoint answer 404) are
+// covered by a conditional-GET polling fallback at PollInterval: the
+// poller tracks the peer's ETag privately (peerSnaps stay owned by the
+// scatter flight leader) and marks dirty when it moves.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+// StalenessHeader is the response header on a push gateway's /query and
+// /sketch answers: the served fold's staleness in milliseconds. 0 means
+// the fold is continuously validated — every watcher healthy and no
+// unapplied invalidation.
+const StalenessHeader = "X-Sketch-Staleness"
+
+// EpochVectorHeader is the response header carrying the per-peer ingest
+// epochs the served fold was built from, comma-separated in peer order;
+// -1 marks a peer that was down or serves no epoch (e.g. a stacked
+// gateway).
+const EpochVectorHeader = "X-Sketch-Epoch-Vector"
+
+// watcherRetryCeiling caps the jittered reconnect backoff of a failing
+// watcher (and the background refresher's retry pause).
+const watcherRetryCeiling = 2 * time.Second
+
+// markDirty records one invalidation event — a peer's epoch moved (or
+// its watcher cannot rule that out) — and wakes the refresher.
+func (g *Gateway) markDirty() {
+	g.dirtyGen.Add(1)
+	select {
+	case g.refreshKick <- struct{}{}:
+	default: // a kick is already pending; the refresher drains by generation
+	}
+}
+
+// dirtyFold reports whether some invalidation has not yet been covered
+// by an installed scatter round.
+func (g *Gateway) dirtyFold() bool {
+	return g.dirtyGen.Load() > g.lastRoundGen.Load()
+}
+
+// watchersHealthy reports whether every peer's watcher (or polling
+// fallback) is currently delivering invalidations — the condition under
+// which a clean cache is known fresh up to push latency.
+func (g *Gateway) watchersHealthy() bool {
+	for _, p := range g.peers {
+		if !p.watchOK.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// foldStaleness is the served fold's staleness bound at now: zero while
+// the cache is clean and every watcher healthy (any ingest would have
+// been pushed already), and the age of the last good fold otherwise —
+// a conservative overestimate, since the fold was fresh until the first
+// unseen ingest, not until the round that built it.
+func (g *Gateway) foldStaleness(now time.Time) time.Duration {
+	if !g.dirtyFold() && g.watchersHealthy() {
+		return 0
+	}
+	lf := g.lastFresh.Load()
+	if lf == 0 {
+		return 0 // no fold installed yet; the cold path refreshes synchronously
+	}
+	return now.Sub(time.Unix(0, lf))
+}
+
+// ensureFreshPush is the push-mode gate in front of the answer phase:
+// it decides whether the cached fold may be served as-is (the fast
+// path — zero peer round trips) or the request must pay a synchronous
+// scatter (no fold yet, or the staleness bound is exceeded while the
+// cache is dirty or a watcher is down). It reports false after writing
+// an error response. Under PartialDegrade a failed synchronous refresh
+// over an existing fold falls back to serving stale — a stale merged
+// sketch is still a valid answer, which is the whole point.
+func (g *Gateway) ensureFreshPush(w http.ResponseWriter, r *http.Request) bool {
+	age := g.foldStaleness(time.Now())
+	overBound := g.cfg.MaxStale >= 0 && age > g.cfg.MaxStale
+	if !g.haveFold() || overBound {
+		g.syncRefreshes.Add(1)
+		if err := g.refresh(r.Context()); err != nil {
+			if !g.haveFold() || g.cfg.Partial == PartialFail {
+				server.WriteError(w, federateStatus(err), err)
+				return false
+			}
+			g.noteStaleness(g.foldStaleness(time.Now()))
+		}
+		return true
+	}
+	g.staleServes.Add(1)
+	g.noteStaleness(age)
+	return true
+}
+
+// haveFold reports whether a scatter round has ever installed a fold to
+// serve from.
+func (g *Gateway) haveFold() bool {
+	g.cacheMu.Lock()
+	defer g.cacheMu.Unlock()
+	return g.mergedValid
+}
+
+// noteStaleness tracks the maximum staleness ever served (the
+// max_staleness_ms stat).
+func (g *Gateway) noteStaleness(age time.Duration) {
+	ns := int64(age)
+	for {
+		cur := g.maxStalenessNs.Load()
+		if ns <= cur || g.maxStalenessNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// setPushHeadersLocked stamps a push gateway's answer with the served
+// fold's staleness and per-peer epoch vector. Callers hold cacheMu.
+func (g *Gateway) setPushHeadersLocked(w http.ResponseWriter) {
+	if !g.cfg.Push {
+		return
+	}
+	age := g.foldStaleness(time.Now())
+	w.Header().Set(StalenessHeader, strconv.FormatInt(age.Milliseconds(), 10))
+	parts := make([]string, len(g.mergedEpochs))
+	for i, ep := range g.mergedEpochs {
+		parts[i] = strconv.FormatInt(ep, 10)
+	}
+	w.Header().Set(EpochVectorHeader, strings.Join(parts, ","))
+}
+
+// refresher is the background revalidation loop: woken by markDirty, it
+// re-runs scatter rounds until the installed fold covers every observed
+// invalidation, keeping re-fetch and re-fold latency entirely off the
+// request path. Transient round failures retry with a bounded pause —
+// the per-peer breakers keep a dead fleet from being hammered.
+func (g *Gateway) refresher() {
+	defer g.watcherWG.Done()
+	pause := 50 * time.Millisecond
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-g.refreshKick:
+		}
+		for g.dirtyFold() {
+			g.bgRefreshes.Add(1)
+			if err := g.refresh(g.stopCtx); err != nil {
+				select {
+				case <-g.stop:
+					return
+				case <-time.After(pause):
+				}
+				pause = min(2*pause, watcherRetryCeiling)
+				continue
+			}
+			pause = 50 * time.Millisecond
+		}
+	}
+}
+
+// watchPeer is one peer's watcher goroutine: it long-polls GET /watch
+// and marks the cache dirty on every epoch bump. Failures reconnect
+// with jittered exponential backoff, honor the peer's circuit breaker,
+// and charge it (a dead peer's breaker opens from watch failures alone);
+// a 404 downgrades the watcher to conditional-GET polling for daemons
+// predating /watch. After any unhealthy stretch the first successful
+// round marks the cache dirty — the peer may have ingested unobserved.
+func (g *Gateway) watchPeer(i int, p *peer) {
+	defer g.watcherWG.Done()
+	rng := rand.New(rand.NewPCG(uint64(i)+1, rand.Uint64()))
+	var (
+		lastEpoch int64
+		pollETag  string
+		polling   bool
+		backoff   time.Duration
+	)
+	for {
+		select {
+		case <-g.stop:
+			return
+		default:
+		}
+		if backoff > 0 {
+			// Jittered: half deterministic, half uniform — reconnecting
+			// watchers of one fleet spread out instead of thundering.
+			d := backoff/2 + time.Duration(rng.Int64N(int64(backoff/2)+1))
+			select {
+			case <-g.stop:
+				return
+			case <-time.After(d):
+			}
+		}
+		if polling {
+			select {
+			case <-g.stop:
+				return
+			case <-time.After(g.cfg.PollInterval):
+			}
+		}
+		if !p.admit(time.Now(), g.cfg.DownCooldown) {
+			p.watchOK.Store(false)
+			backoff = g.cfg.DownCooldown
+			continue
+		}
+		wasHealthy := p.watchOK.Load()
+		var err error
+		if polling {
+			err = g.pollOnce(p, &pollETag)
+		} else {
+			var fallback bool
+			fallback, err = g.watchOnce(p, &lastEpoch)
+			if fallback {
+				polling = true
+				g.watchPollFallbacks.Add(1)
+				backoff = 0
+				continue
+			}
+		}
+		if err != nil {
+			if g.stopCtx.Err() != nil {
+				return
+			}
+			p.watchOK.Store(false)
+			if !polling {
+				// pollOnce goes through do(), which already charged the
+				// breaker; watch requests are raw and charge it here.
+				p.recordFailure(fmt.Errorf("cluster: watch %s: %w", p.url, err),
+					g.cfg.DownAfter, g.cfg.DownCooldown)
+			}
+			if backoff == 0 {
+				backoff = 50 * time.Millisecond
+			} else {
+				backoff = min(2*backoff, watcherRetryCeiling)
+			}
+			continue
+		}
+		backoff = 0
+		p.watchOK.Store(true)
+		if !wasHealthy {
+			// The peer was unwatched for a while: whatever it ingested in
+			// the gap was never pushed, so the fold must be revalidated.
+			g.markDirty()
+		}
+	}
+}
+
+// watchOnce runs one /watch long-poll against the peer, updating
+// *lastEpoch and marking the cache dirty when the peer's epoch moved.
+// fallback reports a 404 — the peer predates /watch.
+func (g *Gateway) watchOnce(p *peer, lastEpoch *int64) (fallback bool, err error) {
+	p.requests.Add(1)
+	// The request deadline leaves the peer's long-poll room to expire on
+	// its own (RequestTimeout of grace past WatchTimeout) and is bound to
+	// stopCtx, so Close aborts a parked poll immediately.
+	ctx, cancel := context.WithTimeout(g.stopCtx, g.cfg.WatchTimeout+g.cfg.RequestTimeout)
+	defer cancel()
+	u := fmt.Sprintf("%s/watch?epoch=%d&timeout=%s", p.url, *lastEpoch, g.cfg.WatchTimeout)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return true, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, decodePeerError(resp)
+	}
+	var wr server.WatchResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<10)).Decode(&wr); err != nil {
+		return false, fmt.Errorf("decoding watch response: %w", err)
+	}
+	p.recordSuccess()
+	if wr.Epoch > *lastEpoch {
+		*lastEpoch = wr.Epoch
+		g.watchPushes.Add(1)
+		g.markDirty()
+	}
+	return false, nil
+}
+
+// pollOnce is the fallback invalidation probe for peers without /watch:
+// one conditional GET /sketch whose validator is tracked privately by
+// the poller (peerSnaps belong to the scatter flight leader). A moved —
+// or absent — ETag marks the cache dirty; the scatter round then
+// re-fetches with its own conditional GET.
+func (g *Gateway) pollOnce(p *peer, etag *string) error {
+	var extra http.Header
+	if *etag != "" {
+		extra = http.Header{"If-None-Match": []string{*etag}}
+	}
+	_, hdr, status, err := g.do(g.stopCtx, p, http.MethodGet, "/sketch", "", nil, extra)
+	if err != nil {
+		return err
+	}
+	if status == http.StatusNotModified {
+		return nil
+	}
+	if e := hdr.Get("ETag"); e != "" {
+		*etag = e
+	}
+	g.markDirty()
+	return nil
+}

@@ -23,6 +23,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -137,14 +138,18 @@ type Engine struct {
 	// epoch counts ingest calls; the snapshot cache is valid only while it
 	// holds still, so queries between ingests skip the O(shards×entries)
 	// re-merge.
-	epoch      atomic.Int64
+	epoch atomic.Int64
+	// watchCh is the epoch-bump broadcast slot behind WaitEpoch: waiters
+	// park a channel here, and bumpEpoch swaps it out and closes it. The
+	// ingest path pays one atomic load (nil) while nobody is watching —
+	// epoch propagation never adds a lock to Process/ProcessBatch.
+	watchCh    atomic.Pointer[chan struct{}]
 	snapMu     sync.Mutex // guards snap/snapEpoch and serializes snapshot queries
 	snap       sketch.Sketch
 	snapEpoch  int64
 	snapValid  bool
 	snapHits   atomic.Int64
 	snapMisses atomic.Int64
-
 	// stamped records whether the shard sketches implement sketch.Stamped
 	// (time-window sketches); ProcessAt/ProcessStampedBatch require it.
 	stamped bool
@@ -276,7 +281,56 @@ func (e *Engine) Process(p geom.Point) {
 	// snapshot that read the pre-bump epoch is stamped too old and merely
 	// rebuilds on the next query. Bumping first would let a snapshot that
 	// missed this point be stamped current — persistent staleness.
+	e.bumpEpoch()
+}
+
+// bumpEpoch advances the ingest epoch and wakes every WaitEpoch waiter.
+// The broadcast is a single swap-and-close: with no waiters parked the
+// swap sees nil and ingest pays one atomic load, so the hot path stays
+// lock-free.
+func (e *Engine) bumpEpoch() {
 	e.epoch.Add(1)
+	if ch := e.watchCh.Swap(nil); ch != nil {
+		close(*ch)
+	}
+}
+
+// Epoch returns the current ingest epoch — the monotone counter behind
+// the snapshot cache and the HTTP tier's cache validators (see
+// WithSnapshotEpoch for the stamping rules).
+func (e *Engine) Epoch() int64 { return e.epoch.Load() }
+
+// WaitEpoch blocks until the ingest epoch exceeds after, or ctx is done,
+// and returns the epoch it observed last — the long-poll primitive
+// behind the HTTP tier's GET /watch. A call whose after is already
+// behind returns immediately; otherwise the caller parks on a broadcast
+// channel that every epoch bump closes, so N waiters cost one channel
+// close per bump and zero work on the ingest path while nobody waits.
+func (e *Engine) WaitEpoch(ctx context.Context, after int64) int64 {
+	for {
+		if ep := e.epoch.Load(); ep > after {
+			return ep
+		}
+		ch := e.watchCh.Load()
+		if ch == nil {
+			fresh := make(chan struct{})
+			if !e.watchCh.CompareAndSwap(nil, &fresh) {
+				continue // lost the install race; reload the winner's channel
+			}
+			ch = &fresh
+		}
+		// Re-check after parking the channel: a bump that raced ahead of
+		// the install already advanced the epoch (atomics are seq-cst, so
+		// a bump that this load misses must see — and close — *ch).
+		if ep := e.epoch.Load(); ep > after {
+			return ep
+		}
+		select {
+		case <-*ch:
+		case <-ctx.Done():
+			return e.epoch.Load()
+		}
+	}
 }
 
 // ProcessBatch feeds a batch of stream points: the batch is partitioned
@@ -336,7 +390,7 @@ func (e *Engine) ProcessBatch(ps []geom.Point) {
 	}
 	e.putBuckets(bk)
 	// Bumped after enqueueing, for the reason documented in Process.
-	e.epoch.Add(1)
+	e.bumpEpoch()
 }
 
 // ProcessStampedBatch feeds a batch of explicitly stamped points to a
@@ -397,7 +451,7 @@ func (e *Engine) ProcessStampedBatch(ps []geom.Point, stamps []int64) {
 	}
 	e.putBuckets(bk)
 	// Bumped after enqueueing, for the reason documented in Process.
-	e.epoch.Add(1)
+	e.bumpEpoch()
 }
 
 // ProcessAt feeds one explicitly stamped point to a time-windowed engine.

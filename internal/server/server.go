@@ -25,6 +25,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -82,6 +83,12 @@ type Config struct {
 	// window width is then a duration in seconds over ingest time. Only
 	// consulted when Windowed.
 	Clock func() int64
+
+	// WatchTimeout bounds how long a GET /watch long-poll may block before
+	// answering with the unchanged epoch. It is the server-side ceiling: a
+	// client ?timeout= shorter than this is honored, a longer one is
+	// clamped. Defaults to 30s.
+	WatchTimeout time.Duration
 }
 
 // StampHeader is the ingest request header carrying the batch's explicit
@@ -122,6 +129,10 @@ type Server struct {
 	sketchCacheHits   atomic.Int64 // /sketch served from the cached marshal
 	sketchCacheMisses atomic.Int64 // /sketch re-serialized (epoch moved)
 	notModified       atomic.Int64 // conditional GETs answered 304
+
+	watchRequests atomic.Int64 // GET /watch calls served
+	watchChanged  atomic.Int64 // /watch answers that reported a newer epoch
+	watchTimeouts atomic.Int64 // /watch answers that timed out unchanged
 }
 
 // New builds a Server around an engine.
@@ -138,10 +149,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = func() int64 { return time.Now().Unix() }
 	}
+	if cfg.WatchTimeout <= 0 {
+		cfg.WatchTimeout = 30 * time.Second
+	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /query", s.handleQuery)
 	s.mux.HandleFunc("GET /sketch", s.handleSketch)
+	s.mux.HandleFunc("GET /watch", s.handleWatch)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -175,6 +190,16 @@ type QueryResponse struct {
 	SpaceWords int `json:"space_words"`
 }
 
+// WatchResponse is the JSON body of GET /watch — the long-poll epoch
+// notification the cluster gateway's push watchers consume.
+type WatchResponse struct {
+	// Epoch is the engine's ingest epoch at response time.
+	Epoch int64 `json:"epoch"`
+	// Changed reports whether Epoch exceeds the ?epoch= the client was
+	// watching from (false means the poll timed out unchanged).
+	Changed bool `json:"changed"`
+}
+
 // StatsResponse is the JSON body of GET /stats.
 type StatsResponse struct {
 	// Engine mirrors engine.Stats.
@@ -203,6 +228,14 @@ type StatsResponse struct {
 	// NotModified counts conditional GETs (If-None-Match) answered with
 	// 304 and no body.
 	NotModified int64 `json:"not_modified"`
+	// WatchRequests counts GET /watch long-polls served.
+	WatchRequests int64 `json:"watch_requests"`
+	// WatchChanged counts /watch answers that reported a newer epoch
+	// (immediately or after blocking).
+	WatchChanged int64 `json:"watch_changed"`
+	// WatchTimeouts counts /watch answers that timed out with the epoch
+	// unchanged.
+	WatchTimeouts int64 `json:"watch_timeouts"`
 }
 
 // CheckpointResponse is the JSON body of a successful POST /checkpoint.
@@ -423,6 +456,51 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	WriteJSON(w, http.StatusOK, resp)
 }
 
+// handleWatch is the push-propagation hook: a long-poll that answers as
+// soon as the engine's ingest epoch exceeds ?epoch= (immediately when it
+// already does), or with Changed=false when the poll times out first.
+// The wait costs no locks on the ingest path — it parks on the engine's
+// epoch broadcast channel (engine.WaitEpoch). ?timeout= (a Go duration)
+// may shorten the server's WatchTimeout ceiling but never extend it.
+// The response carries X-Sketch-Epoch, so a watcher can chain polls
+// without parsing the body. Clients that predate /watch simply never
+// call it; gateways probing an old daemon get 404 from the mux and fall
+// back to conditional-GET polling.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	s.watchRequests.Add(1)
+	after := int64(0)
+	if eq := r.URL.Query().Get("epoch"); eq != "" {
+		v, err := strconv.ParseInt(eq, 10, 64)
+		if err != nil || v < 0 {
+			WriteError(w, http.StatusBadRequest, fmt.Errorf("server: bad epoch %q", eq))
+			return
+		}
+		after = v
+	}
+	timeout := s.cfg.WatchTimeout
+	if tq := r.URL.Query().Get("timeout"); tq != "" {
+		d, err := time.ParseDuration(tq)
+		if err != nil || d <= 0 {
+			WriteError(w, http.StatusBadRequest, fmt.Errorf("server: bad timeout %q", tq))
+			return
+		}
+		if d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	epoch := s.cfg.Engine.WaitEpoch(ctx, after)
+	changed := epoch > after
+	if changed {
+		s.watchChanged.Add(1)
+	} else {
+		s.watchTimeouts.Add(1)
+	}
+	w.Header().Set(EpochHeader, strconv.FormatInt(epoch, 10))
+	WriteJSON(w, http.StatusOK, WatchResponse{Epoch: epoch, Changed: changed})
+}
+
 // handleSketch exports the engine's cached merged snapshot in the
 // pkg/sketch versioned envelope — the federation hook: a cluster gateway
 // fetches these from every peer, Deserializes, and Merges. The response
@@ -507,6 +585,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		SketchCacheHits:        s.sketchCacheHits.Load(),
 		SketchCacheMisses:      s.sketchCacheMisses.Load(),
 		NotModified:            s.notModified.Load(),
+		WatchRequests:          s.watchRequests.Load(),
+		WatchChanged:           s.watchChanged.Load(),
+		WatchTimeouts:          s.watchTimeouts.Load(),
 	})
 }
 

@@ -21,12 +21,16 @@
 // explicitly.
 //
 // -compare old.json diffs the fresh run against a previous report and
-// prints per-benchmark ns/op changes; benchmarks regressing more than
-// -max-regress percent are flagged with a WARNING line. The flags warn
-// by default — CI runs on noisy shared runners — and only fail the run
-// when -fail-on-regress is set:
+// prints per-benchmark ns/op and allocs/op changes; benchmarks
+// regressing more than -max-regress percent ns/op (or
+// -max-regress-allocs percent allocs/op) are flagged with a WARNING
+// line. The flags warn by default and only fail the run when
+// -fail-on-regress (ns/op) or -fail-on-alloc-regress (allocs/op) is
+// set — CI gates on allocations only, since allocs/op is deterministic
+// while wall time is noisy on shared runners:
 //
 //	go run ./tools/benchjson -compare BENCH_engine.json -max-regress 20 -out /tmp/new.json
+//	go run ./tools/benchjson -compare BENCH_engine.json -fail-on-alloc-regress -out /tmp/new.json
 package main
 
 import (
@@ -83,9 +87,11 @@ func main() {
 		out       = flag.String("out", "BENCH_engine.json", "output JSON file")
 		require   = flag.String("require", "BenchmarkEngineProcess,BenchmarkWindowEngineProcess,BenchmarkGatewayQuery,BenchmarkGatewayQueryWarm,BenchmarkSketchMarshal",
 			"comma-separated benchmark name prefixes that must appear in the results (empty disables the check; the default applies only with the default -bench)")
-		compare    = flag.String("compare", "", "previous report JSON to diff the fresh run against (ns/op)")
-		maxRegress = flag.Float64("max-regress", 20, "percent ns/op slowdown vs -compare above which a benchmark is flagged")
-		failRegr   = flag.Bool("fail-on-regress", false, "exit non-zero when any benchmark exceeds -max-regress (default: warn only)")
+		compare     = flag.String("compare", "", "previous report JSON to diff the fresh run against (ns/op and allocs/op)")
+		maxRegress  = flag.Float64("max-regress", 20, "percent ns/op slowdown vs -compare above which a benchmark is flagged")
+		failRegr    = flag.Bool("fail-on-regress", false, "exit non-zero when any benchmark exceeds -max-regress (default: warn only)")
+		maxAllocs   = flag.Float64("max-regress-allocs", 10, "percent allocs/op growth vs -compare above which a benchmark is flagged")
+		failAllocRg = flag.Bool("fail-on-alloc-regress", false, "exit non-zero when any benchmark exceeds -max-regress-allocs (default: warn only)")
 	)
 	flag.Parse()
 	benchSet, requireSet := false, false
@@ -141,57 +147,67 @@ func main() {
 	}
 	fmt.Printf("benchjson: %d benchmarks → %s\n", len(results), *out)
 	if *compare != "" {
-		regressed, err := compareReports(*compare, results, *maxRegress)
+		nsRegr, allocRegr, err := compareReports(*compare, results, *maxRegress, *maxAllocs)
 		if err != nil {
 			fatal(err)
 		}
-		if regressed > 0 && *failRegr {
-			fatal(fmt.Errorf("%d benchmark(s) regressed more than %g%% vs %s", regressed, *maxRegress, *compare))
+		if nsRegr > 0 && *failRegr {
+			fatal(fmt.Errorf("%d benchmark(s) regressed more than %g%% ns/op vs %s", nsRegr, *maxRegress, *compare))
+		}
+		if allocRegr > 0 && *failAllocRg {
+			fatal(fmt.Errorf("%d benchmark(s) regressed more than %g%% allocs/op vs %s", allocRegr, *maxAllocs, *compare))
 		}
 	}
 }
 
 // compareReports diffs the fresh results against a previous report and
-// prints one line per benchmark present in both, flagging ns/op
-// slowdowns beyond maxRegress percent with WARNING. It returns the
-// number of flagged benchmarks. Benchmarks present in only one of the
-// two runs are skipped (renames are caught by -require).
-func compareReports(path string, results []Result, maxRegress float64) (int, error) {
+// prints one line per benchmark and tracked metric present in both,
+// flagging ns/op slowdowns beyond maxRegress percent and allocs/op
+// growth beyond maxAllocs percent with WARNING. It returns the flagged
+// counts per metric. Benchmarks present in only one of the two runs are
+// skipped (renames are caught by -require).
+func compareReports(path string, results []Result, maxRegress, maxAllocs float64) (nsRegressed, allocRegressed int, err error) {
 	blob, err := os.ReadFile(path)
 	if err != nil {
-		return 0, fmt.Errorf("reading comparison baseline: %w", err)
+		return 0, 0, fmt.Errorf("reading comparison baseline: %w", err)
 	}
 	var old Report
 	if err := json.Unmarshal(blob, &old); err != nil {
-		return 0, fmt.Errorf("parsing comparison baseline %s: %w", path, err)
+		return 0, 0, fmt.Errorf("parsing comparison baseline %s: %w", path, err)
 	}
-	oldNs := make(map[string]float64, len(old.Benchmarks))
+	oldBy := make(map[string]Result, len(old.Benchmarks))
 	for _, r := range old.Benchmarks {
-		if v, ok := r.Metrics["ns/op"]; ok && v > 0 {
-			oldNs[r.Name] = v
-		}
+		oldBy[r.Name] = r
 	}
-	regressed := 0
 	for _, r := range results {
-		was, ok := oldNs[r.Name]
+		prev, ok := oldBy[r.Name]
 		if !ok {
 			continue
 		}
-		now, ok := r.Metrics["ns/op"]
-		if !ok || now <= 0 {
+		if was, now := prev.Metrics["ns/op"], r.Metrics["ns/op"]; was > 0 && now > 0 {
+			pct := (now - was) / was * 100
+			if pct > maxRegress {
+				nsRegressed++
+				fmt.Printf("benchjson: WARNING: %s regressed %+.1f%% ns/op (%.0f → %.0f, threshold %g%%)\n",
+					r.Name, pct, was, now, maxRegress)
+			} else {
+				fmt.Printf("benchjson: %s %+.1f%% ns/op (%.0f → %.0f)\n", r.Name, pct, was, now)
+			}
+		}
+		was, wasOK := prev.Metrics["allocs/op"]
+		now, nowOK := r.Metrics["allocs/op"]
+		if !wasOK || !nowOK {
 			continue
 		}
-		pct := (now - was) / was * 100
-		switch {
-		case pct > maxRegress:
-			regressed++
-			fmt.Printf("benchjson: WARNING: %s regressed %+.1f%% ns/op (%.0f → %.0f, threshold %g%%)\n",
-				r.Name, pct, was, now, maxRegress)
-		default:
-			fmt.Printf("benchjson: %s %+.1f%% ns/op (%.0f → %.0f)\n", r.Name, pct, was, now)
+		// A zero-alloc baseline has no percentage to grow by: any
+		// allocation at all is the regression there.
+		if regress := was > 0 && (now-was)/was*100 > maxAllocs || was == 0 && now > 0; regress {
+			allocRegressed++
+			fmt.Printf("benchjson: WARNING: %s regressed allocs/op (%.0f → %.0f, threshold %g%%)\n",
+				r.Name, was, now, maxAllocs)
 		}
 	}
-	return regressed, nil
+	return nsRegressed, allocRegressed, nil
 }
 
 // missingRequired returns the required benchmark prefixes (comma-
