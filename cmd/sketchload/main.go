@@ -1,0 +1,482 @@
+// Command sketchload is the load/chaos harness: it drives configurable
+// mixed ingest/query traffic at a sketchd daemon or sketchgw gateway,
+// records HDR-style latency histograms per operation class, and emits a
+// benchjson-compatible JSON report (BENCH_load.json) that
+// `tools/benchjson -in ... -compare` can diff run over run.
+//
+// Two ways to pick a target:
+//
+//	sketchload -target http://localhost:7071 -points 200000 -conns 8
+//	sketchload -spawn 3 -points 100000 -chaos flap
+//
+// -target drives an already-running endpoint; -spawn N builds a
+// self-contained in-process fleet — N sketchd peers on loopback ports
+// behind a push-mode sketchgw gateway — so CI can exercise the full
+// cluster serving path with one binary and no orchestration.
+//
+// -chaos inserts a chaosproxy (internal/loadgen/chaosproxy) between the
+// gateway and peer 0 and runs the named failure scenario during the
+// load phase:
+//
+//	flap     peer 0 alternates up/down (-flap-up/-flap-down), active
+//	         connections reset on each down transition
+//	latency  every client→peer chunk is delayed by -chaos-latency
+//	stall    the first response chunk of each connection is delayed
+//
+// Under -chaos flap the run is also a pass/fail availability check: the
+// gateway must answer 100% of queries (stale or fresh — the serve-stale
+// machinery's whole point), the breaker must be observed open or a
+// stale serve recorded during the flap, and after the flapping stops
+// the gateway must recover to all-peers-up, non-partial answers. Any
+// violated verdict exits 1. Ingest requests routed to the dead peer
+// legitimately fail during the flap; they are reported but do not fail
+// the scenario.
+//
+// See docs/load.md for the full flag reference, the report schema, and
+// worked chaos scenarios.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/loadgen"
+	"repro/internal/loadgen/chaosproxy"
+	"repro/internal/server"
+	"repro/internal/window"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is main minus os.Exit so the exit paths stay testable.
+func run(args []string) int {
+	fs := flag.NewFlagSet("sketchload", flag.ContinueOnError)
+	var (
+		target  = fs.String("target", "", "base URL of a running sketchd/sketchgw to drive (mutually exclusive with -spawn)")
+		spawn   = fs.Int("spawn", 0, "spin up this many in-process sketchd peers behind an in-process gateway and drive that")
+		dim     = fs.Int("dim", 2, "point dimension")
+		alpha   = fs.Float64("alpha", 1, "distance threshold α (spawn mode; must match the target otherwise)")
+		seed    = fs.Uint64("seed", 1, "random seed for both the fleet and the traffic")
+		shards  = fs.Int("shards", 2, "engine shards per spawned peer")
+		conns   = fs.Int("conns", 4, "concurrent load connections")
+		points  = fs.Int("points", 100000, "total points to ingest")
+		batch   = fs.Int("batch", 200, "points per ingest request")
+		qEvery  = fs.Int("query-every", 4, "one query per this many ingest batches (0 disables)")
+		k       = fs.Int("k", 4, "samples per query")
+		groups  = fs.Int("groups", 512, "distinct near-duplicate groups")
+		zipfS   = fs.Float64("zipf", 1.2, "zipf exponent s>1 for group popularity")
+		rate    = fs.Float64("rate", 0, "open-loop target points/s (0 = closed loop)")
+		burst   = fs.Int("burst", 1, "batches per open-loop burst instant")
+		windowW = fs.Int64("window", 0, "spawn time-window peers with width W and stamp ingest batches (0 = infinite window)")
+		jitter  = fs.Int64("stamp-jitter", 0, "± stamp noise per windowed batch (keep below -window)")
+		late    = fs.Float64("late", 0, "fraction of windowed batches stamped behind the frontier")
+		chaos   = fs.String("chaos", "none", "failure scenario on peer 0 (spawn mode): none, flap, latency, stall")
+		chaosD  = fs.Duration("chaos-latency", 50*time.Millisecond, "injected delay for -chaos latency/stall")
+		flapUp  = fs.Duration("flap-up", 400*time.Millisecond, "up phase of -chaos flap")
+		flapDn  = fs.Duration("flap-down", 400*time.Millisecond, "down phase of -chaos flap")
+		stale   = fs.Duration("max-stale", 5*time.Second, "gateway -max-stale bound (spawn mode)")
+		out     = fs.String("out", "BENCH_load.json", "output report file")
+		timeout = fs.Duration("timeout", 2*time.Minute, "overall run deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if (*target == "") == (*spawn == 0) {
+		fmt.Fprintln(os.Stderr, "sketchload: exactly one of -target or -spawn is required")
+		return 2
+	}
+	if *chaos != "none" && *spawn == 0 {
+		fmt.Fprintln(os.Stderr, "sketchload: -chaos needs -spawn (the proxy sits between the spawned gateway and peer 0)")
+		return 2
+	}
+	switch *chaos {
+	case "none", "flap", "latency", "stall":
+	default:
+		fmt.Fprintf(os.Stderr, "sketchload: unknown -chaos %q (want none, flap, latency, or stall)\n", *chaos)
+		return 2
+	}
+
+	if *windowW > 0 && *k > 1 {
+		// WindowL0 answers single-sample queries only; a k>1 query is a
+		// 400 on every windowed target, so clamp instead of failing the
+		// whole run on the first query.
+		log.Printf("sketchload: windowed sketches are single-sample, clamping -k %d → 1", *k)
+		*k = 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	cfg := loadgen.Config{
+		Target:       *target,
+		Dim:          *dim,
+		Conns:        *conns,
+		Points:       *points,
+		BatchSize:    *batch,
+		QueryEvery:   *qEvery,
+		K:            *k,
+		Groups:       *groups,
+		ZipfS:        *zipfS,
+		Rate:         *rate,
+		Burst:        *burst,
+		Windowed:     *windowW > 0,
+		StampJitter:  *jitter,
+		LateFraction: *late,
+		Seed:         *seed,
+	}
+
+	var fl *fleet
+	if *spawn > 0 {
+		var err error
+		fl, err = startFleet(fleetConfig{
+			peers: *spawn, shards: *shards, dim: *dim, alpha: *alpha,
+			seed: *seed, windowW: *windowW, maxStale: *stale,
+			chaos: *chaos != "none",
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sketchload:", err)
+			return 2
+		}
+		defer fl.stop()
+		cfg.Target = fl.gwURL
+		log.Printf("sketchload: spawned %d peers + gateway at %s", *spawn, fl.gwURL)
+	}
+
+	desc := fmt.Sprintf("sketchload conns=%d batch=%d zipf=%g groups=%d chaos=%s spawn=%d",
+		*conns, *batch, *zipfS, *groups, *chaos, *spawn)
+
+	// Warm the target before any chaos: the gateway needs at least one
+	// complete fold to serve stale from, and verdicts about staleness
+	// are meaningless against an empty cache.
+	if fl != nil {
+		if err := warmup(ctx, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "sketchload: warmup:", err)
+			return 2
+		}
+	}
+
+	var (
+		mon      *statsMonitor
+		stopFlap func()
+	)
+	switch *chaos {
+	case "flap":
+		mon = monitorStats(ctx, cfg.Target)
+		stopFlap = fl.proxy.Flap(*flapUp, *flapDn)
+		log.Printf("sketchload: flapping peer 0 (%v up / %v down)", *flapUp, *flapDn)
+	case "latency":
+		fl.proxy.SetLatency(*chaosD)
+	case "stall":
+		fl.proxy.SetStall(*chaosD)
+	}
+
+	res, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sketchload:", err)
+		return 2
+	}
+	log.Printf("sketchload: %d points in %v (%.0f pts/s), %d queries (%.0f q/s), %d ingest errors, %d query errors",
+		res.Points, res.Elapsed.Round(time.Millisecond), res.IngestRate(),
+		res.Queries, res.QueryRate(), res.IngestErrors, res.QueryErrors)
+
+	rep := loadgen.BuildReport(res, desc, fmt.Sprintf("%dpts", *points))
+
+	exit := 0
+	if *chaos == "flap" {
+		verdict, ok := flapVerdict(ctx, cfg, fl, mon, stopFlap, res)
+		rep.Append("Load/chaos-flap", loadgen.HistSnapshot{Count: 1}, 0, 0, verdict)
+		if !ok {
+			exit = 1
+		}
+	}
+
+	if err := rep.WriteFile(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "sketchload:", err)
+		return 2
+	}
+	log.Printf("sketchload: report → %s", *out)
+	return exit
+}
+
+// warmup pushes one small batch through the target and waits for a 200
+// query so the serving cache holds a complete fold.
+func warmup(ctx context.Context, cfg loadgen.Config) error {
+	w := cfg
+	w.Points = 4 * w.BatchSize
+	w.QueryEvery = 1
+	w.Conns = 1
+	w.Rate = 0
+	res, err := loadgen.Run(ctx, w)
+	if err != nil {
+		return err
+	}
+	if res.IngestErrors > 0 || res.QueryErrors > 0 || res.Queries == 0 {
+		return fmt.Errorf("target not healthy before chaos: %d/%d ingest errors, %d/%d query errors",
+			res.IngestErrors, res.Points, res.QueryErrors, res.Queries)
+	}
+	return nil
+}
+
+// flapVerdict evaluates the chaos scenario's three claims and returns
+// them as report metrics (1 pass / 0 fail) plus the overall pass.
+func flapVerdict(ctx context.Context, cfg loadgen.Config, fl *fleet, mon *statsMonitor, stopFlap func(), res *loadgen.Result) (map[string]float64, bool) {
+	// Claim 1: every query during the flap was answered.
+	available := res.Queries > 0 && res.QueryErrors == 0
+
+	// Claim 2: the degradation machinery actually engaged — the breaker
+	// was observed open, or a stale serve was recorded.
+	mon.stop()
+	degraded := mon.sawBreakerOpen.Load() || mon.sawStaleServe.Load()
+
+	// Claim 3: with the proxy back up, the gateway re-folds to
+	// all-peers-up, non-partial answers.
+	stopFlap()
+	recovered := waitRecovered(ctx, cfg, fl.peerCount)
+
+	log.Printf("sketchload: chaos verdict: available=%v degraded-but-serving=%v recovered=%v (max staleness served %dms)",
+		available, degraded, recovered, res.MaxStalenessMS)
+	return map[string]float64{
+		"available":        b2f(available),
+		"degraded-serving": b2f(degraded),
+		"recovered":        b2f(recovered),
+		"max-staleness-ms": float64(res.MaxStalenessMS),
+		"ingest-errors":    float64(res.IngestErrors),
+	}, available && degraded && recovered
+}
+
+// waitRecovered polls the gateway until every peer is up and a query
+// answers non-partial, or 30s pass.
+func waitRecovered(ctx context.Context, cfg loadgen.Config, peers int) bool {
+	deadline := time.Now().Add(30 * time.Second)
+	client := &http.Client{Timeout: 5 * time.Second}
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		var st cluster.StatsResponse
+		if getJSON(client, cfg.Target+"/stats", &st) == nil && st.PeersUp == peers {
+			var q struct {
+				Partial bool `json:"partial"`
+			}
+			if getJSON(client, fmt.Sprintf("%s/query?k=%d", cfg.Target, cfg.K), &q) == nil && !q.Partial {
+				return true
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return false
+}
+
+// statsMonitor samples the gateway's /stats during the chaos phase and
+// latches whether the breaker was ever seen open and whether any stale
+// serve was recorded.
+type statsMonitor struct {
+	sawBreakerOpen atomic.Bool
+	sawStaleServe  atomic.Bool
+	cancel         context.CancelFunc
+	done           chan struct{}
+}
+
+func monitorStats(ctx context.Context, target string) *statsMonitor {
+	ctx, cancel := context.WithCancel(ctx)
+	m := &statsMonitor{cancel: cancel, done: make(chan struct{})}
+	client := &http.Client{Timeout: 2 * time.Second}
+	go func() {
+		defer close(m.done)
+		t := time.NewTicker(50 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+			var st cluster.StatsResponse
+			if getJSON(client, target+"/stats", &st) != nil {
+				continue
+			}
+			if st.StaleServes > 0 {
+				m.sawStaleServe.Store(true)
+			}
+			for _, p := range st.Peers {
+				if !p.Up {
+					m.sawBreakerOpen.Store(true)
+				}
+			}
+		}
+	}()
+	return m
+}
+
+func (m *statsMonitor) stop() {
+	m.cancel()
+	<-m.done
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// fleetConfig shapes an in-process peer fleet.
+type fleetConfig struct {
+	peers    int
+	shards   int
+	dim      int
+	alpha    float64
+	seed     uint64
+	windowW  int64
+	maxStale time.Duration
+	chaos    bool
+}
+
+// fleet is a self-contained serving topology on loopback ports: N
+// sketchd peers, an optional chaosproxy in front of peer 0, and a
+// push-mode gateway federating them.
+type fleet struct {
+	engines   []*engine.Engine
+	servers   []*http.Server
+	gw        *cluster.Gateway
+	gwSrv     *http.Server
+	gwURL     string
+	proxy     *chaosproxy.Proxy
+	peerCount int
+}
+
+func startFleet(fc fleetConfig) (*fleet, error) {
+	opts := core.Options{
+		Alpha:       fc.alpha,
+		Dim:         fc.dim,
+		StreamBound: 1 << 20,
+		K:           8,
+		Seed:        fc.seed,
+		HighDim:     true,
+	}
+	fl := &fleet{peerCount: fc.peers}
+	ecfg := engine.Config{Shards: fc.shards}
+	windowed := fc.windowW > 0
+	win := window.Window{Kind: window.Time, W: fc.windowW}
+	peerURLs := make([]string, fc.peers)
+	for i := 0; i < fc.peers; i++ {
+		var (
+			eng *engine.Engine
+			err error
+		)
+		if windowed {
+			eng, err = engine.NewWindowSamplerEngine(opts, win, ecfg)
+		} else {
+			eng, err = engine.NewSamplerEngine(opts, ecfg)
+		}
+		if err != nil {
+			fl.stop()
+			return nil, err
+		}
+		fl.engines = append(fl.engines, eng)
+		srv, err := server.New(server.Config{Engine: eng, Dim: fc.dim, Windowed: windowed})
+		if err != nil {
+			fl.stop()
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fl.stop()
+			return nil, err
+		}
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(ln)
+		fl.servers = append(fl.servers, hs)
+		peerURLs[i] = "http://" + ln.Addr().String()
+	}
+
+	gwPeers := append([]string(nil), peerURLs...)
+	if fc.chaos {
+		p, err := chaosproxy.New(peerURLs[0])
+		if err != nil {
+			fl.stop()
+			return nil, err
+		}
+		fl.proxy = p
+		gwPeers[0] = p.URL()
+	}
+
+	router, err := engine.NewRouterFromOptions(core.Options{Alpha: fc.alpha, Dim: fc.dim, Seed: fc.seed})
+	if err != nil {
+		fl.stop()
+		return nil, err
+	}
+	gw, err := cluster.New(cluster.Config{
+		Peers:          gwPeers,
+		Router:         router,
+		Dim:            fc.dim,
+		Partial:        cluster.PartialDegrade,
+		RequestTimeout: 2 * time.Second,
+		Retries:        cluster.NoRetries,
+		RetryBackoff:   20 * time.Millisecond,
+		DownAfter:      2,
+		DownCooldown:   200 * time.Millisecond,
+		Push:           true,
+		MaxStale:       fc.maxStale,
+		WatchTimeout:   5 * time.Second,
+		PollInterval:   100 * time.Millisecond,
+	})
+	if err != nil {
+		fl.stop()
+		return nil, err
+	}
+	fl.gw = gw
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fl.stop()
+		return nil, err
+	}
+	fl.gwSrv = &http.Server{Handler: gw}
+	go fl.gwSrv.Serve(ln)
+	fl.gwURL = "http://" + ln.Addr().String()
+	return fl, nil
+}
+
+// stop tears the fleet down in dependency order: gateway first (its
+// watchers hold peer connections), then the proxy, then the peers.
+func (fl *fleet) stop() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if fl.gwSrv != nil {
+		fl.gwSrv.Shutdown(ctx)
+	}
+	if fl.gw != nil {
+		fl.gw.Close()
+	}
+	if fl.proxy != nil {
+		fl.proxy.Close()
+	}
+	for _, hs := range fl.servers {
+		hs.Shutdown(ctx)
+	}
+	for _, eng := range fl.engines {
+		eng.Close()
+	}
+}

@@ -1,0 +1,132 @@
+package chaosproxy
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newBackend starts a trivial HTTP upstream and a proxy in front of it.
+func newBackend(t *testing.T) (*httptest.Server, *Proxy) {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "pong")
+	}))
+	t.Cleanup(ts.Close)
+	p, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return ts, p
+}
+
+// get fetches through the proxy with a short-lived client (no pooled
+// connections, so down transitions are observed immediately).
+func get(p *Proxy) (string, error) {
+	client := &http.Client{
+		Timeout:   2 * time.Second,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+	resp, err := client.Get(p.URL())
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}
+
+func TestProxyForwards(t *testing.T) {
+	_, p := newBackend(t)
+	body, err := get(p)
+	if err != nil || body != "pong" {
+		t.Fatalf("through proxy: %q, %v", body, err)
+	}
+}
+
+func TestProxyDownResetsAndRecovers(t *testing.T) {
+	_, p := newBackend(t)
+	p.SetDown(true)
+	if _, err := get(p); err == nil {
+		t.Fatal("request succeeded through a down proxy")
+	}
+	p.SetDown(false)
+	body, err := get(p)
+	if err != nil || body != "pong" {
+		t.Fatalf("after recovery: %q, %v", body, err)
+	}
+}
+
+func TestProxyDownCutsActiveConnections(t *testing.T) {
+	ts, p := newBackend(t)
+	// A keep-alive client holds one connection through the proxy; the
+	// down transition must reset it, not leave it half-usable.
+	client := &http.Client{Timeout: 2 * time.Second}
+	if _, err := client.Get(p.URL()); err != nil {
+		t.Fatal(err)
+	}
+	p.SetDown(true)
+	if resp, err := client.Get(p.URL()); err == nil {
+		resp.Body.Close()
+		t.Fatal("pooled connection survived the down transition")
+	}
+	_ = ts
+}
+
+func TestProxyLatency(t *testing.T) {
+	_, p := newBackend(t)
+	p.SetLatency(60 * time.Millisecond)
+	start := time.Now()
+	if _, err := get(p); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 60*time.Millisecond {
+		t.Fatalf("60ms injected, round trip took %v", d)
+	}
+}
+
+func TestProxyStall(t *testing.T) {
+	_, p := newBackend(t)
+	p.SetStall(60 * time.Millisecond)
+	start := time.Now()
+	body, err := get(p)
+	if err != nil || body != "pong" {
+		t.Fatalf("stalled response: %q, %v", body, err)
+	}
+	if d := time.Since(start); d < 60*time.Millisecond {
+		t.Fatalf("60ms stall injected, round trip took %v", d)
+	}
+}
+
+func TestProxyFlap(t *testing.T) {
+	_, p := newBackend(t)
+	p.Flap(80*time.Millisecond, 80*time.Millisecond)
+	// Across a few cycles both phases must be observable.
+	var sawUp, sawDown bool
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && !(sawUp && sawDown) {
+		if _, err := get(p); err == nil {
+			sawUp = true
+		} else if strings.Contains(err.Error(), "refused") || strings.Contains(err.Error(), "reset") || strings.Contains(err.Error(), "EOF") {
+			sawDown = true
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !sawUp || !sawDown {
+		t.Fatalf("flap phases observed: up=%v down=%v", sawUp, sawDown)
+	}
+}
+
+func TestProxyCloseIdempotent(t *testing.T) {
+	_, p := newBackend(t)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

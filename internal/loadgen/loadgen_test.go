@@ -1,0 +1,187 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/pointio"
+	"repro/internal/server"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1..10000 ns: every value falls in a known log-linear bucket; with
+	// 32 sub-buckets per octave the bucket upper bound is within ~1/32
+	// of the true value, so quantile error stays under ~4%.
+	for v := int64(1); v <= 10000; v++ {
+		h.Record(time.Duration(v))
+	}
+	s := h.Snapshot()
+	if s.Count != 10000 {
+		t.Fatalf("count %d", s.Count)
+	}
+	if s.MaxNS != 10000 {
+		t.Fatalf("max %d", s.MaxNS)
+	}
+	check := func(name string, got, want int64) {
+		t.Helper()
+		if diff := got - want; diff < 0 || float64(diff) > 0.04*float64(want) {
+			t.Fatalf("%s = %d, want within +4%% of %d", name, got, want)
+		}
+	}
+	check("p50", s.P50NS, 5000)
+	check("p90", s.P90NS, 9000)
+	check("p99", s.P99NS, 9900)
+	if s.MeanNS < 4900 || s.MeanNS > 5100 {
+		t.Fatalf("mean %d, want ~5000", s.MeanNS)
+	}
+	// A quantile can never exceed the true max (upper-bound clamping).
+	h.Record(time.Duration(1 << 40))
+	if q := h.Quantile(1); q != 1<<40 {
+		t.Fatalf("q100 after huge sample: %d", q)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for v := int64(1); v <= 100; v++ {
+		a.Record(time.Duration(v))
+		b.Record(time.Duration(v * 1000))
+	}
+	a.Merge(&b)
+	s := a.Snapshot()
+	if s.Count != 200 {
+		t.Fatalf("merged count %d", s.Count)
+	}
+	if s.MaxNS != 100000 {
+		t.Fatalf("merged max %d", s.MaxNS)
+	}
+	if s.P50NS > 1100 {
+		t.Fatalf("merged p50 %d, want ≈ the boundary between the halves", s.P50NS)
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Record(time.Duration(w*1000 + i + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 4000 || s.MaxNS != 4000 {
+		t.Fatalf("count=%d max=%d", s.Count, s.MaxNS)
+	}
+}
+
+// TestRunDrivesMixedTraffic runs the generator against a stub endpoint
+// and checks the accounting: every point arrives in a binary batch,
+// queries interleave at the configured ratio, windowed runs stamp every
+// ingest, and the reported staleness maximum is tracked.
+func TestRunDrivesMixedTraffic(t *testing.T) {
+	var points, ingests, queries, stamped atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/ingest":
+			pts, err := pointio.ReadBatch(r.Body, r.Header.Get("Content-Type"), 2)
+			if err != nil {
+				t.Errorf("ingest decode: %v", err)
+				http.Error(w, err.Error(), 400)
+				return
+			}
+			points.Add(int64(len(pts)))
+			ingests.Add(1)
+			if r.Header.Get(server.StampHeader) != "" {
+				stamped.Add(1)
+			}
+			w.Write([]byte(`{"ingested":` + strconv.Itoa(len(pts)) + `}`))
+		case "/query":
+			queries.Add(1)
+			w.Header().Set("X-Sketch-Staleness", "42")
+			w.Write([]byte(`{"estimate":1}`))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer ts.Close()
+
+	res, err := Run(context.Background(), Config{
+		Target:     ts.URL,
+		Points:     2000,
+		BatchSize:  100,
+		Conns:      3,
+		QueryEvery: 2,
+		Windowed:   true,
+		StampStep:  10,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points.Load() != 2000 || res.Points != 2000 {
+		t.Fatalf("points: server saw %d, result says %d, want 2000", points.Load(), res.Points)
+	}
+	if ingests.Load() != 20 {
+		t.Fatalf("ingest requests %d, want 20 batches", ingests.Load())
+	}
+	if queries.Load() != 10 || res.Queries != 10 {
+		t.Fatalf("queries: server saw %d, result says %d, want one per 2 batches", queries.Load(), res.Queries)
+	}
+	if stamped.Load() != 20 {
+		t.Fatalf("only %d/20 ingests carried a stamp header", stamped.Load())
+	}
+	if res.IngestErrors != 0 || res.QueryErrors != 0 {
+		t.Fatalf("errors: ingest=%d query=%d", res.IngestErrors, res.QueryErrors)
+	}
+	if res.MaxStalenessMS != 42 {
+		t.Fatalf("max staleness %dms, want the header value 42", res.MaxStalenessMS)
+	}
+	if res.Ingest.Count != 20 || res.Query.Count != 10 {
+		t.Fatalf("histogram counts ingest=%d query=%d", res.Ingest.Count, res.Query.Count)
+	}
+
+	rep := BuildReport(res, "test", "2000pts")
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("report entries %d", len(rep.Benchmarks))
+	}
+	for _, b := range rep.Benchmarks {
+		if b.Metrics["errors"] != 0 {
+			t.Fatalf("%s reports errors", b.Name)
+		}
+		if b.Metrics["p99-ns"] <= 0 {
+			t.Fatalf("%s missing p99-ns", b.Name)
+		}
+	}
+}
+
+// TestRunCountsErrors points the generator at a refusing endpoint and
+// checks failures land in the error counters instead of aborting.
+func TestRunCountsErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	res, err := Run(context.Background(), Config{
+		Target: ts.URL, Points: 400, BatchSize: 100, Conns: 2, QueryEvery: 1, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IngestErrors != 4 {
+		t.Fatalf("ingest errors %d, want 4", res.IngestErrors)
+	}
+	if res.QueryErrors != 4 {
+		t.Fatalf("query errors %d, want 4", res.QueryErrors)
+	}
+}

@@ -1,0 +1,108 @@
+package loadgen
+
+// The load report reuses tools/benchjson's JSON schema (same field
+// names) so `benchjson -in BENCH_load.json -compare old.json` diffs a
+// load run exactly like a microbenchmark run: each operation class
+// becomes one "benchmark" whose metrics carry the latency distribution
+// and achieved rates.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// ReportResult is one operation class in a load report — structurally
+// identical to benchjson's Result so the two files diff against each
+// other.
+type ReportResult struct {
+	// Name identifies the operation class, e.g. "Load/ingest".
+	Name string `json:"name"`
+	// Iterations is the number of requests in the class.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value: ns/op (mean), p50-ns, p90-ns, p99-ns,
+	// max-ns, ops/s, errors, and pts/s for ingest.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the BENCH_load.json document — benchjson's schema with the
+// run configuration in Bench/Benchtime.
+type Report struct {
+	// GoVersion is runtime.Version at measurement time.
+	GoVersion string `json:"go_version"`
+	// GOOS is the target operating system.
+	GOOS string `json:"goos"`
+	// GOARCH is the target architecture.
+	GOARCH string `json:"goarch"`
+	// NumCPU is runtime.NumCPU at measurement time.
+	NumCPU int `json:"num_cpu"`
+	// GeneratedAt is the measurement timestamp (RFC 3339, UTC).
+	GeneratedAt string `json:"generated_at"`
+	// Bench describes the run shape (conns, batch, zipf, chaos mode).
+	Bench string `json:"bench"`
+	// Benchtime is the total point budget, e.g. "100000pts".
+	Benchtime string `json:"benchtime"`
+	// Benchmarks holds one entry per operation class.
+	Benchmarks []ReportResult `json:"benchmarks"`
+}
+
+// classEntry converts one operation class's histogram snapshot into a
+// report entry.
+func classEntry(name string, s HistSnapshot, errors int64, elapsed time.Duration, extra map[string]float64) ReportResult {
+	m := map[string]float64{
+		"ns/op":  float64(s.MeanNS),
+		"p50-ns": float64(s.P50NS),
+		"p90-ns": float64(s.P90NS),
+		"p99-ns": float64(s.P99NS),
+		"max-ns": float64(s.MaxNS),
+		"errors": float64(errors),
+	}
+	if elapsed > 0 {
+		m["ops/s"] = float64(s.Count) / elapsed.Seconds()
+	}
+	for k, v := range extra {
+		m[k] = v
+	}
+	return ReportResult{Name: name, Iterations: s.Count, Metrics: m}
+}
+
+// BuildReport converts a run's Result into the BENCH_load.json document.
+// bench describes the run shape and benchtime the point budget (both are
+// informational strings echoed into the report header).
+func BuildReport(res *Result, bench, benchtime string) *Report {
+	rep := &Report{
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Bench:       bench,
+		Benchtime:   benchtime,
+	}
+	rep.Benchmarks = append(rep.Benchmarks,
+		classEntry("Load/ingest", res.Ingest, res.IngestErrors, res.Elapsed,
+			map[string]float64{"pts/s": res.IngestRate()}))
+	if res.Query.Count > 0 || res.QueryErrors > 0 {
+		rep.Benchmarks = append(rep.Benchmarks,
+			classEntry("Load/query", res.Query, res.QueryErrors, res.Elapsed,
+				map[string]float64{"max-staleness-ms": float64(res.MaxStalenessMS)}))
+	}
+	return rep
+}
+
+// Append adds an extra operation class (e.g. a chaos-phase query class)
+// to the report.
+func (r *Report) Append(name string, s HistSnapshot, errors int64, elapsed time.Duration, extra map[string]float64) {
+	r.Benchmarks = append(r.Benchmarks, classEntry(name, s, errors, elapsed, extra))
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	return os.WriteFile(path, blob, 0o644)
+}

@@ -31,6 +31,17 @@
 //
 //	go run ./tools/benchjson -compare BENCH_engine.json -max-regress 20 -out /tmp/new.json
 //	go run ./tools/benchjson -compare BENCH_engine.json -fail-on-alloc-regress -out /tmp/new.json
+//
+// -in report.json skips running benchmarks and ingests an existing
+// report instead — the load harness (cmd/sketchload) emits its
+// BENCH_load.json in this same schema, so load runs diff with the same
+// regression math as microbenchmarks. Latency-distribution metrics
+// (p50-ns/p99-ns, as emitted by the harness) are compared under the
+// same -max-regress threshold as ns/op. In -in mode the report is not
+// rewritten unless -out is given explicitly, so an ingest-and-compare
+// run never clobbers the default BENCH_engine.json:
+//
+//	go run ./tools/benchjson -in BENCH_load.json -compare BENCH_load_old.json -max-regress 25
 package main
 
 import (
@@ -92,6 +103,7 @@ func main() {
 		failRegr    = flag.Bool("fail-on-regress", false, "exit non-zero when any benchmark exceeds -max-regress (default: warn only)")
 		maxAllocs   = flag.Float64("max-regress-allocs", 10, "percent allocs/op growth vs -compare above which a benchmark is flagged")
 		failAllocRg = flag.Bool("fail-on-alloc-regress", false, "exit non-zero when any benchmark exceeds -max-regress-allocs (default: warn only)")
+		in          = flag.String("in", "", "existing report JSON to ingest instead of running benchmarks (e.g. cmd/sketchload's BENCH_load.json)")
 	)
 	flag.Parse()
 	benchSet, requireSet := false, false
@@ -103,49 +115,79 @@ func main() {
 			requireSet = true
 		}
 	})
-	if benchSet && !requireSet {
-		*require = "" // custom selection: the baseline set does not apply
+	if (benchSet || *in != "") && !requireSet {
+		*require = "" // custom selection or ingested report: the baseline set does not apply
 	}
 
-	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench,
-		"-benchtime", *benchtime, "-benchmem", *pkg)
-	var stdout bytes.Buffer
-	cmd.Stdout = &stdout
-	cmd.Stderr = os.Stderr
-	if err := cmd.Run(); err != nil {
-		fatal(fmt.Errorf("go test: %w", err))
-	}
+	var (
+		results []Result
+		report  Report
+	)
+	if *in != "" {
+		loaded, err := loadReport(*in)
+		if err != nil {
+			fatal(err)
+		}
+		report = *loaded
+		results = report.Benchmarks
+		if len(results) == 0 {
+			fatal(fmt.Errorf("%s holds no benchmarks", *in))
+		}
+	} else {
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench,
+			"-benchtime", *benchtime, "-benchmem", *pkg)
+		var stdout bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fatal(fmt.Errorf("go test: %w", err))
+		}
 
-	results, err := parseBench(stdout.String())
-	if err != nil {
-		fatal(err)
-	}
-	if len(results) == 0 {
-		fatal(fmt.Errorf("no benchmark lines matched %q (output:\n%s)", *bench, stdout.String()))
+		var err error
+		results, err = parseBench(stdout.String())
+		if err != nil {
+			fatal(err)
+		}
+		if len(results) == 0 {
+			fatal(fmt.Errorf("no benchmark lines matched %q (output:\n%s)", *bench, stdout.String()))
+		}
+		report = Report{
+			GoVersion:   runtime.Version(),
+			GOOS:        runtime.GOOS,
+			GOARCH:      runtime.GOARCH,
+			NumCPU:      runtime.NumCPU(),
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			Bench:       *bench,
+			Benchtime:   *benchtime,
+			Benchmarks:  results,
+		}
 	}
 	if missing := missingRequired(results, *require); len(missing) > 0 {
 		fatal(fmt.Errorf("expected benchmarks missing from the run: %s (renamed or deleted? update -require and the baseline)",
 			strings.Join(missing, ", ")))
 	}
-	report := Report{
-		GoVersion:   runtime.Version(),
-		GOOS:        runtime.GOOS,
-		GOARCH:      runtime.GOARCH,
-		NumCPU:      runtime.NumCPU(),
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		Bench:       *bench,
-		Benchtime:   *benchtime,
-		Benchmarks:  results,
+	outSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "out" {
+			outSet = true
+		}
+	})
+	if *in == "" || outSet {
+		// In -in mode the report already exists on disk; only rewrite it
+		// somewhere when -out was asked for explicitly (never clobber the
+		// default BENCH_engine.json with a load report).
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchjson: %d benchmarks → %s\n", len(results), *out)
+	} else {
+		fmt.Printf("benchjson: %d benchmarks ← %s\n", len(results), *in)
 	}
-	blob, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		fatal(err)
-	}
-	blob = append(blob, '\n')
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
-		fatal(err)
-	}
-	fmt.Printf("benchjson: %d benchmarks → %s\n", len(results), *out)
 	if *compare != "" {
 		nsRegr, allocRegr, err := compareReports(*compare, results, *maxRegress, *maxAllocs)
 		if err != nil {
@@ -167,13 +209,9 @@ func main() {
 // counts per metric. Benchmarks present in only one of the two runs are
 // skipped (renames are caught by -require).
 func compareReports(path string, results []Result, maxRegress, maxAllocs float64) (nsRegressed, allocRegressed int, err error) {
-	blob, err := os.ReadFile(path)
+	old, err := loadReport(path)
 	if err != nil {
-		return 0, 0, fmt.Errorf("reading comparison baseline: %w", err)
-	}
-	var old Report
-	if err := json.Unmarshal(blob, &old); err != nil {
-		return 0, 0, fmt.Errorf("parsing comparison baseline %s: %w", path, err)
+		return 0, 0, fmt.Errorf("comparison baseline: %w", err)
 	}
 	oldBy := make(map[string]Result, len(old.Benchmarks))
 	for _, r := range old.Benchmarks {
@@ -184,14 +222,21 @@ func compareReports(path string, results []Result, maxRegress, maxAllocs float64
 		if !ok {
 			continue
 		}
-		if was, now := prev.Metrics["ns/op"], r.Metrics["ns/op"]; was > 0 && now > 0 {
+		// Latency metrics all regress under the same percentage
+		// threshold: mean (ns/op) for microbenchmarks, and the
+		// distribution quantiles load reports carry on top of it.
+		for _, unit := range []string{"ns/op", "p50-ns", "p99-ns"} {
+			was, now := prev.Metrics[unit], r.Metrics[unit]
+			if was <= 0 || now <= 0 {
+				continue
+			}
 			pct := (now - was) / was * 100
 			if pct > maxRegress {
 				nsRegressed++
-				fmt.Printf("benchjson: WARNING: %s regressed %+.1f%% ns/op (%.0f → %.0f, threshold %g%%)\n",
-					r.Name, pct, was, now, maxRegress)
+				fmt.Printf("benchjson: WARNING: %s regressed %+.1f%% %s (%.0f → %.0f, threshold %g%%)\n",
+					r.Name, pct, unit, was, now, maxRegress)
 			} else {
-				fmt.Printf("benchjson: %s %+.1f%% ns/op (%.0f → %.0f)\n", r.Name, pct, was, now)
+				fmt.Printf("benchjson: %s %+.1f%% %s (%.0f → %.0f)\n", r.Name, pct, unit, was, now)
 			}
 		}
 		was, wasOK := prev.Metrics["allocs/op"]
@@ -208,6 +253,19 @@ func compareReports(path string, results []Result, maxRegress, maxAllocs float64
 		}
 	}
 	return nsRegressed, allocRegressed, nil
+}
+
+// loadReport reads and parses a report JSON file.
+func loadReport(path string) (*Report, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading report: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("parsing report %s: %w", path, err)
+	}
+	return &r, nil
 }
 
 // missingRequired returns the required benchmark prefixes (comma-

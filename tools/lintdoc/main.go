@@ -7,40 +7,97 @@
 //
 // A directory argument is scanned non-recursively (one package per
 // directory, _test.go files skipped). Exits 1 listing every exported
-// identifier that lacks a doc comment.
+// identifier that lacks a doc comment, 2 on usage or parse errors.
+//
+// With -gofmt, every scanned file (including _test.go files, which the
+// doc check skips) must also be gofmt-clean; unformatted files are
+// findings like undocumented identifiers.
 package main
 
 import (
+	"bytes"
+	"flag"
 	"fmt"
 	"go/ast"
+	"go/format"
 	"go/parser"
 	"go/token"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: lintdoc <package-dir> ...")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+// run is the whole program minus os.Exit: 0 clean, 1 findings, 2 usage
+// or parse errors.
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lintdoc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	gofmtGate := fs.Bool("gofmt", false, "also require every scanned file (tests included) to be gofmt-clean")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	var missing []string
-	for _, dir := range os.Args[1:] {
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: lintdoc [-gofmt] <package-dir> ...")
+		return 2
+	}
+	var findings []string
+	for _, dir := range fs.Args() {
 		m, err := lintDir(dir)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lintdoc:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "lintdoc:", err)
+			return 2
 		}
-		missing = append(missing, m...)
-	}
-	if len(missing) > 0 {
-		fmt.Fprintf(os.Stderr, "lintdoc: %d exported identifiers lack doc comments:\n", len(missing))
-		for _, m := range missing {
-			fmt.Fprintln(os.Stderr, "  "+m)
+		findings = append(findings, m...)
+		if *gofmtGate {
+			m, err := lintFormat(dir)
+			if err != nil {
+				fmt.Fprintln(stderr, "lintdoc:", err)
+				return 2
+			}
+			findings = append(findings, m...)
 		}
-		os.Exit(1)
 	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "lintdoc: %d findings:\n", len(findings))
+		for _, m := range findings {
+			fmt.Fprintln(stderr, "  "+m)
+		}
+		return 1
+	}
+	return 0
+}
+
+// lintFormat returns one "file: not gofmt-clean" entry per Go file in
+// dir whose bytes differ from their canonical formatting.
+func lintFormat(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		formatted, err := format.Source(src)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if !bytes.Equal(src, formatted) {
+			findings = append(findings, filepath.ToSlash(path)+": not gofmt-clean")
+		}
+	}
+	return findings, nil
 }
 
 // lintDir parses every non-test Go file of the package in dir and returns

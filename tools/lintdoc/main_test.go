@@ -1,0 +1,158 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFiles lays out a package directory from name → source pairs and
+// returns its path.
+func writeFiles(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const cleanSrc = `// Package demo is documented.
+package demo
+
+// Exported is documented.
+const Exported = 1
+
+// Thing is documented.
+type Thing struct{}
+
+// Do is documented.
+func (t *Thing) Do() {}
+
+// Helper is documented.
+func Helper() {}
+
+func unexported() {}
+`
+
+func TestLintDirClean(t *testing.T) {
+	dir := writeFiles(t, map[string]string{"demo.go": cleanSrc})
+	missing, err := lintDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("clean package flagged: %v", missing)
+	}
+}
+
+func TestLintDirFindsMissingDocs(t *testing.T) {
+	dir := writeFiles(t, map[string]string{"demo.go": `package demo
+
+const Undocumented = 1
+
+type Widget struct{}
+
+func (w Widget) Spin() {}
+
+func Loose() {}
+
+func (h hidden) Method() {}
+
+type hidden struct{}
+`})
+	missing, err := lintDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"const Undocumented", "type Widget", "method (Widget).Spin", "func Loose"}
+	if len(missing) != len(want) {
+		t.Fatalf("findings = %v, want %d entries", missing, len(want))
+	}
+	for i, frag := range want {
+		if !strings.Contains(missing[i], frag) {
+			t.Errorf("finding %d = %q, want it to name %q", i, missing[i], frag)
+		}
+		if !strings.Contains(missing[i], "demo.go:") {
+			t.Errorf("finding %d = %q, want file:line prefix", i, missing[i])
+		}
+	}
+}
+
+func TestLintDirSkipsTestFiles(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"demo.go":      cleanSrc,
+		"demo_test.go": "package demo\n\nfunc TestUndocumentedExported() {}\n",
+	})
+	missing, err := lintDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("_test.go file flagged: %v", missing)
+	}
+}
+
+func TestLintFormat(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"clean.go":      cleanSrc,
+		"dirty_test.go": "package demo\n\nfunc   TestBadlySpaced(  ) {}\n",
+	})
+	findings, err := lintFormat(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "dirty_test.go") {
+		t.Fatalf("findings = %v, want exactly dirty_test.go", findings)
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	clean := writeFiles(t, map[string]string{"demo.go": cleanSrc})
+	dirty := writeFiles(t, map[string]string{"demo.go": "package demo\n\nfunc Bare() {}\n"})
+	unformatted := writeFiles(t, map[string]string{"demo.go": strings.ReplaceAll(cleanSrc, "func Helper()", "func  Helper( )")})
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+		errs string // substring expected on stderr, "" for none
+	}{
+		{"clean tree", []string{clean}, 0, ""},
+		{"missing docs", []string{dirty}, 1, "findings"},
+		{"clean with gofmt gate", []string{"-gofmt", clean}, 0, ""},
+		{"unformatted under gofmt gate", []string{"-gofmt", unformatted}, 1, "not gofmt-clean"},
+		{"unformatted without gofmt gate", []string{unformatted}, 0, ""},
+		{"no args", nil, 2, "usage"},
+		{"bad flag", []string{"-nope", clean}, 2, ""},
+		{"missing dir", []string{filepath.Join(clean, "nope")}, 2, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr strings.Builder
+			if got := run(tc.args, &stderr); got != tc.want {
+				t.Fatalf("run(%v) = %d, want %d (stderr: %s)", tc.args, got, tc.want, stderr.String())
+			}
+			if tc.errs != "" && !strings.Contains(stderr.String(), tc.errs) {
+				t.Fatalf("stderr = %q, want it to mention %q", stderr.String(), tc.errs)
+			}
+		})
+	}
+}
+
+func TestRunGofmtGateParseError(t *testing.T) {
+	// A file that parses as a package but cannot be formatted (syntax
+	// error) is a usage-level failure, not a finding. lintDir fails
+	// first on the same file, so exercise lintFormat directly too.
+	dir := writeFiles(t, map[string]string{"broken.go": "package demo\n\nfunc {{{\n"})
+	if _, err := lintFormat(dir); err == nil {
+		t.Fatal("syntax error accepted by lintFormat")
+	}
+	var stderr strings.Builder
+	if got := run([]string{"-gofmt", dir}, &stderr); got != 2 {
+		t.Fatalf("run on broken source = %d, want 2", got)
+	}
+}
