@@ -17,6 +17,7 @@
 //	GET  /stats       engine + server counters
 //	POST /checkpoint  atomically persist engine state to -checkpoint
 //	GET  /healthz     liveness
+//	GET  /metrics     Prometheus text exposition (disable with -metrics=false)
 //
 // With -window W (time-based windows only) the daemon serves the sliding
 // window of the last W time units instead of the whole stream: each
@@ -54,6 +55,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 	"repro/internal/window"
 )
 
@@ -78,6 +80,9 @@ func main() {
 		ckptEvery = flag.Duration("checkpoint-every", 0, "write a background checkpoint to -checkpoint at this interval (0 disables)")
 		windowW   = flag.Int64("window", 0, "serve a sliding window of the last W time units instead of the whole stream (0 = infinite window)")
 		windowK   = flag.String("window-kind", "time", "window semantics for -window: only \"time\" can be sharded (sequence windows: use cmd/l0sample or cmd/f0est single-threaded)")
+		metrics   = flag.Bool("metrics", true, "expose Prometheus metrics on GET /metrics")
+		slowQ     = flag.Duration("slow-query", 0, "log requests slower than this as JSON lines on stderr (0 disables)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
 	)
 	flag.Parse()
 
@@ -147,11 +152,22 @@ func main() {
 		CheckpointPath: *ckpt,
 		Restored:       *restore,
 		Windowed:       windowed,
+		NoMetrics:      !*metrics,
+		SlowQuery:      *slowQ,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("sketchd: pprof on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, telemetry.PprofHandler()); err != nil {
+				log.Printf("sketchd: pprof: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -189,7 +205,8 @@ func main() {
 		if windowed {
 			desc = fmt.Sprintf("%s over a %v window of %d", *kind, win.Kind, win.W)
 		}
-		log.Printf("sketchd: %s engine, %d shards, listening on %s", desc, eng.Stats().Shards, *addr)
+		ver, commit := telemetry.BuildInfo()
+		log.Printf("sketchd: build %s (%s), %s engine, %d shards, listening on %s", ver, commit, desc, eng.Stats().Shards, *addr)
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}

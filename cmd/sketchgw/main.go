@@ -24,6 +24,14 @@
 //	GET  /sketch   the federated merged sketch (so gateways stack into trees)
 //	GET  /stats    gateway counters + per-peer health
 //	GET  /healthz  ok / degraded (k/n peers up) / 503 with no live peers
+//	GET  /metrics  Prometheus text exposition (disable with -metrics=false)
+//
+// Every request is tagged with an X-Sketch-Trace ID (inbound wins, the
+// gateway mints otherwise; -trace=false stops minting) that is echoed on
+// the response and forwarded to every peer the request touches, so one
+// federated query reconstructs across the fleet from its trace ID.
+// -slow-query logs requests over a threshold as structured JSON with
+// per-stage timings; -pprof serves net/http/pprof on a side address.
 //
 // -alpha, -dim, and -seed must match the peers' flags: the routing grid
 // is derived from them, and peer sketches merge only when built with
@@ -46,6 +54,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -66,6 +75,10 @@ func main() {
 		maxStale = flag.Duration("max-stale", 5*time.Second, "with -push, how stale a served fold may be before a query pays a synchronous refresh; negative = unbounded")
 		watchTO  = flag.Duration("watch-timeout", 25*time.Second, "with -push, the /watch long-poll timeout requested from peers")
 		pollIvl  = flag.Duration("poll-interval", 500*time.Millisecond, "with -push, the conditional-GET polling cadence for peers without /watch")
+		metrics  = flag.Bool("metrics", true, "expose Prometheus metrics on GET /metrics")
+		trace    = flag.Bool("trace", true, "mint X-Sketch-Trace IDs and propagate them to peers")
+		slowQ    = flag.Duration("slow-query", 0, "log requests slower than this as JSON lines on stderr (0 disables)")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
 	)
 	flag.Parse()
 
@@ -108,6 +121,9 @@ func main() {
 		MaxStale:       *maxStale,
 		WatchTimeout:   *watchTO,
 		PollInterval:   *pollIvl,
+		NoMetrics:      !*metrics,
+		Trace:          *trace,
+		SlowQuery:      *slowQ,
 	})
 	if err != nil {
 		fatal(err)
@@ -115,6 +131,15 @@ func main() {
 	defer gw.Close()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: gw}
+
+	if *pprofA != "" {
+		go func() {
+			log.Printf("sketchgw: pprof on %s", *pprofA)
+			if err := http.ListenAndServe(*pprofA, telemetry.PprofHandler()); err != nil {
+				log.Printf("sketchgw: pprof: %v", err)
+			}
+		}()
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
@@ -127,8 +152,9 @@ func main() {
 		if *push && *fedCache {
 			mode = fmt.Sprintf("push (max-stale %s)", *maxStale)
 		}
-		log.Printf("sketchgw: %d peers, policy %s, federated cache %s, propagation %s, listening on %s",
-			len(urls), policy, cache, mode, *addr)
+		ver, commit := telemetry.BuildInfo()
+		log.Printf("sketchgw: build %s (%s), %d peers, policy %s, federated cache %s, propagation %s, listening on %s",
+			ver, commit, len(urls), policy, cache, mode, *addr)
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}

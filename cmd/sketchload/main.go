@@ -88,6 +88,7 @@ func run(args []string) int {
 		flapUp  = fs.Duration("flap-up", 400*time.Millisecond, "up phase of -chaos flap")
 		flapDn  = fs.Duration("flap-down", 400*time.Millisecond, "down phase of -chaos flap")
 		stale   = fs.Duration("max-stale", 5*time.Second, "gateway -max-stale bound (spawn mode)")
+		scrape  = fs.Bool("scrape", false, "snapshot the target's /metrics before and after the run and add the deltas to the report")
 		out     = fs.String("out", "BENCH_load.json", "output report file")
 		timeout = fs.Duration("timeout", 2*time.Minute, "overall run deadline")
 	)
@@ -168,6 +169,18 @@ func run(args []string) int {
 		}
 	}
 
+	// -scrape brackets the load phase (after warmup, before chaos) so
+	// the deltas attribute server-side work to this run alone.
+	var before map[string]float64
+	scrapeClient := &http.Client{Timeout: 5 * time.Second}
+	if *scrape {
+		var err error
+		if before, err = loadgen.ScrapeMetrics(scrapeClient, cfg.Target); err != nil {
+			fmt.Fprintln(os.Stderr, "sketchload: -scrape:", err)
+			return 2
+		}
+	}
+
 	var (
 		mon      *statsMonitor
 		stopFlap func()
@@ -193,6 +206,17 @@ func run(args []string) int {
 		res.Queries, res.QueryRate(), res.IngestErrors, res.QueryErrors)
 
 	rep := loadgen.BuildReport(res, desc, fmt.Sprintf("%dpts", *points))
+
+	if *scrape {
+		after, err := loadgen.ScrapeMetrics(scrapeClient, cfg.Target)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sketchload: -scrape:", err)
+			return 2
+		}
+		stages := loadgen.StageDeltas(loadgen.MetricsDelta(before, after))
+		rep.Append("Load/server", loadgen.HistSnapshot{Count: 1}, 0, 0, stages)
+		log.Printf("sketchload: scraped %d server-side deltas from %s/metrics", len(stages), cfg.Target)
+	}
 
 	exit := 0
 	if *chaos == "flap" {

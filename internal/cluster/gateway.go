@@ -36,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -49,6 +50,7 @@ import (
 	"repro/internal/hash"
 	"repro/internal/pointio"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 	"repro/pkg/sketch"
 )
 
@@ -182,6 +184,26 @@ type Config struct {
 	// push watcher, so warm rounds never re-dial (per-attempt timeouts
 	// come from RequestTimeout).
 	Client *http.Client
+
+	// Trace makes the gateway mint an X-Sketch-Trace ID for requests
+	// that arrive without one (inbound IDs are always honored and
+	// propagated either way). Off by default: minting allocates, and
+	// embedded gateways (tests, benchmarks) usually don't want it.
+	Trace bool
+
+	// NoMetrics disables the GET /metrics Prometheus exposition endpoint
+	// and the per-stage latency histograms behind it. Trace propagation
+	// and the slow-query log still work.
+	NoMetrics bool
+
+	// SlowQuery arms the slow-query log: any instrumented request slower
+	// than this threshold emits one structured JSON line (schema in
+	// docs/observability.md) to SlowQueryWriter. Zero disables it.
+	SlowQuery time.Duration
+
+	// SlowQueryWriter receives slow-query log lines. Defaults to
+	// os.Stderr.
+	SlowQueryWriter io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -306,6 +328,10 @@ type Gateway struct {
 	staleServes        atomic.Int64 // queries answered from the cached fold with zero request-path peer round trips
 	syncRefreshes      atomic.Int64 // push-mode queries that paid a synchronous refresh (cold, or staleness bound exceeded)
 	maxStalenessNs     atomic.Int64 // maximum fold staleness observed at serve time
+
+	reg  *telemetry.Registry // /metrics families; nil when NoMetrics
+	slow *telemetry.SlowLog
+	tel  gwTelemetry
 }
 
 // peerSnap is one peer's slot in the federated cache: the last envelope
@@ -348,11 +374,15 @@ func New(cfg Config) (*Gateway, error) {
 		g.peers[i] = &peer{url: strings.TrimRight(raw, "/")}
 		g.peers[i].watchOK.Store(true)
 	}
+	g.initTelemetry()
 	g.mux.HandleFunc("POST /ingest", g.handleIngest)
 	g.mux.HandleFunc("GET /query", g.handleQuery)
 	g.mux.HandleFunc("GET /sketch", g.handleSketch)
 	g.mux.HandleFunc("GET /stats", g.handleStats)
 	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
+	if g.reg != nil {
+		g.mux.Handle("GET /metrics", g.reg)
+	}
 	g.stop = make(chan struct{})
 	g.stopCtx, g.stopCancel = context.WithCancel(context.Background())
 	if cfg.Push {
@@ -427,6 +457,10 @@ type PeerStatus struct {
 // and per-peer health. It deliberately does not scatter to the peers —
 // hit a peer's /stats directly for engine internals.
 type StatsResponse struct {
+	// Version is the binary's build version (ldflags or module info).
+	Version string `json:"version"`
+	// Commit is the binary's VCS revision, when known.
+	Commit string `json:"commit"`
 	// Peers is the per-peer health and traffic table.
 	Peers []PeerStatus `json:"peers"`
 	// PeersUp counts peers whose breaker is currently closed.
@@ -577,7 +611,10 @@ func (g *Gateway) refresh(ctx context.Context) error {
 	f := &flight{done: make(chan struct{})}
 	g.inflight = f
 	g.flightMu.Unlock()
-	f.err = g.scatter(context.WithoutCancel(ctx))
+	// telemetry.Detach, not context.WithoutCancel: the stdlib wrapper
+	// costs one allocation per Value lookup, which the per-peer trace
+	// propagation in attempt() would pay on every scatter fetch.
+	f.err = g.scatter(telemetry.Detach(ctx))
 	g.flightMu.Lock()
 	g.inflight = nil
 	g.flightMu.Unlock()
@@ -625,7 +662,9 @@ func (g *Gateway) scatter(ctx context.Context) error {
 			if useCache && snap.sk != nil && snap.etag != "" {
 				extra = http.Header{"If-None-Match": []string{snap.etag}}
 			}
+			tFetch := time.Now()
 			blob, hdr, status, err := g.do(ctx, p, http.MethodGet, "/sketch", "", nil, extra)
+			telemetry.Observe(g.tel.fetch, nil, "", time.Since(tFetch))
 			if err != nil {
 				errs[i] = err
 				res[i].validator = "down"
@@ -637,7 +676,9 @@ func (g *Gateway) scatter(ctx context.Context) error {
 				res[i] = scatterResult{ok: true, validator: snap.validator(), epoch: snap.epoch, degraded: snap.degraded}
 				return
 			}
+			tDeser := time.Now()
 			sk, err := sketch.Deserialize(blob)
+			telemetry.Observe(g.tel.deserialize, nil, "", time.Since(tDeser))
 			if err != nil {
 				errs[i] = fmt.Errorf("cluster: peer %s sketch: %w", p.url, err)
 				res[i].validator = "down"
@@ -711,7 +752,9 @@ func (g *Gateway) scatter(ctx context.Context) error {
 			// the fold receiver is a fresh copy deserialized from the first
 			// contributor's cached envelope — one deserialization per
 			// re-fold, zero network.
+			tDeser := time.Now()
 			recv, err := sketch.Deserialize(g.peerSnaps[i].blob)
+			telemetry.Observe(g.tel.deserialize, nil, "", time.Since(tDeser))
 			if err != nil {
 				return fmt.Errorf("cluster: peer %s sketch: %w", g.peers[i].url, err)
 			}
@@ -723,7 +766,10 @@ func (g *Gateway) scatter(ctx context.Context) error {
 			merged = m
 			continue
 		}
-		if err := merged.Merge(g.peerSnaps[i].sk); err != nil {
+		tMerge := time.Now()
+		err := merged.Merge(g.peerSnaps[i].sk)
+		telemetry.Observe(g.tel.merge, nil, "", time.Since(tMerge))
+		if err != nil {
 			return fmt.Errorf("cluster: merging peer %s: %w", g.peers[i].url, err)
 		}
 		g.sketchMerges.Add(1)
@@ -787,22 +833,27 @@ func firstError(errs []error) int {
 }
 
 func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	span, ctx := g.beginTrace(w, r)
 	k, err := server.ParseK(r)
 	if err != nil {
 		server.WriteError(w, http.StatusBadRequest, err)
+		g.finishRequest(span, g.tel.reqQuery, telemetry.SlowEntry{Path: "/query", Status: http.StatusBadRequest}, t0)
 		return
 	}
 	g.queries.Add(1)
 	if g.cfg.Push {
-		if !g.ensureFreshPush(w, r) {
+		if !g.ensureFreshPush(w, ctx, span) {
+			g.finishRequest(span, g.tel.reqQuery, telemetry.SlowEntry{Path: "/query", Status: http.StatusBadGateway}, t0)
 			return
 		}
-	} else if err := g.refresh(r.Context()); err != nil {
+	} else if err := g.refreshTimed(ctx, span); err != nil {
 		server.WriteError(w, federateStatus(err), err)
+		g.finishRequest(span, g.tel.reqQuery, telemetry.SlowEntry{Path: "/query", Status: federateStatus(err)}, t0)
 		return
 	}
+	ta := time.Now()
 	g.cacheMu.Lock()
-	defer g.cacheMu.Unlock()
 	g.setPushHeadersLocked(w)
 	fo := g.mergedFo
 	resp := QueryResponse{
@@ -812,6 +863,8 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 		FailedPeers:   fo.failed,
 		DegradedPeers: fo.degraded,
 	}
+	slowE := telemetry.SlowEntry{Path: "/query", Status: http.StatusOK, Partial: fo.partial()}
+	g.slowContextLocked(span, &slowE)
 	if cached, ok := g.answers[k]; ok {
 		// Fully warm: same peer epochs, same k — the cached answer is
 		// returned verbatim (samples included; they would merely
@@ -824,7 +877,11 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// codes.
 		resp.QueryResponse, err = server.AnswerQuery(g.merged, k)
 		if err != nil {
+			g.cacheMu.Unlock()
+			telemetry.Observe(g.tel.answer, span, "answer", time.Since(ta))
 			server.WriteError(w, server.QueryErrorStatus(err), err)
+			slowE.Status = server.QueryErrorStatus(err)
+			g.finishRequest(span, g.tel.reqQuery, slowE, t0)
 			return
 		}
 		if !g.cfg.NoCache {
@@ -835,7 +892,20 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	g.servedPartial(fo)
+	g.cacheMu.Unlock()
+	telemetry.Observe(g.tel.answer, span, "answer", time.Since(ta))
 	server.WriteJSON(w, http.StatusOK, resp)
+	g.finishRequest(span, g.tel.reqQuery, slowE, t0)
+}
+
+// refreshTimed wraps a request-path refresh in the "refresh" stage
+// observation (pull mode; push-mode refreshes are timed inside
+// ensureFreshPush, which only refreshes when it must).
+func (g *Gateway) refreshTimed(ctx context.Context, span *telemetry.Span) error {
+	t := time.Now()
+	err := g.refresh(ctx)
+	telemetry.Observe(g.tel.refresh, span, "refresh", time.Since(t))
+	return err
 }
 
 // exportETag is the strong validator of the gateway's own /sketch
@@ -858,17 +928,21 @@ func (g *Gateway) exportETag() string {
 // partial fold is marked with X-Sketch-Partial: true (PartialDegrade)
 // rather than served silently.
 func (g *Gateway) handleSketch(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	span, ctx := g.beginTrace(w, r)
 	g.queries.Add(1)
 	if g.cfg.Push {
-		if !g.ensureFreshPush(w, r) {
+		if !g.ensureFreshPush(w, ctx, span) {
+			g.finishRequest(span, g.tel.reqSketch, telemetry.SlowEntry{Path: "/sketch", Status: http.StatusBadGateway}, t0)
 			return
 		}
-	} else if err := g.refresh(r.Context()); err != nil {
+	} else if err := g.refreshTimed(ctx, span); err != nil {
 		server.WriteError(w, federateStatus(err), err)
+		g.finishRequest(span, g.tel.reqSketch, telemetry.SlowEntry{Path: "/sketch", Status: federateStatus(err)}, t0)
 		return
 	}
+	te := time.Now()
 	g.cacheMu.Lock()
-	defer g.cacheMu.Unlock()
 	g.setPushHeadersLocked(w)
 	fo := g.mergedFo
 	etag := g.exportETag()
@@ -876,25 +950,38 @@ func (g *Gateway) handleSketch(w http.ResponseWriter, r *http.Request) {
 	if fo.partial() {
 		w.Header().Set(partialHeader, "true")
 	}
+	slowE := telemetry.SlowEntry{Path: "/sketch", Status: http.StatusOK, Partial: fo.partial()}
+	g.slowContextLocked(span, &slowE)
 	if server.MatchETag(r, etag) {
 		g.notModified.Add(1)
+		g.cacheMu.Unlock()
 		w.WriteHeader(http.StatusNotModified)
+		slowE.Status = http.StatusNotModified
+		g.finishRequest(span, g.tel.reqSketch, slowE, t0)
 		return
 	}
 	if g.mergedBlob == nil {
 		blob, err := g.merged.Serialize()
 		if err != nil {
+			g.cacheMu.Unlock()
+			telemetry.Observe(g.tel.export, span, "export", time.Since(te))
+			status := http.StatusInternalServerError
 			if errors.Is(err, sketch.ErrNotSerializable) {
-				server.WriteError(w, http.StatusNotImplemented, err)
-				return
+				status = http.StatusNotImplemented
 			}
-			server.WriteError(w, http.StatusInternalServerError, err)
+			server.WriteError(w, status, err)
+			slowE.Status = status
+			g.finishRequest(span, g.tel.reqSketch, slowE, t0)
 			return
 		}
 		g.mergedBlob = blob
 	}
 	g.servedPartial(fo)
-	server.WriteSketch(w, g.mergedBlob)
+	blob := g.mergedBlob
+	g.cacheMu.Unlock()
+	telemetry.Observe(g.tel.export, span, "export", time.Since(te))
+	server.WriteSketch(w, blob)
+	g.finishRequest(span, g.tel.reqSketch, slowE, t0)
 }
 
 // handleIngest routes a batch across the fleet: each point is assigned to
@@ -904,23 +991,30 @@ func (g *Gateway) handleSketch(w http.ResponseWriter, r *http.Request) {
 // stay delivered, and retrying the full batch is safe: re-ingested points
 // are near-duplicates of themselves and collapse in the sketches.
 func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	span, ctx := g.beginTrace(w, r)
 	g.ingestRequests.Add(1)
 	body := http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes)
+	tp := time.Now()
 	pts, err := pointio.ReadBatch(body, r.Header.Get("Content-Type"), g.cfg.Dim)
+	telemetry.Observe(g.tel.parse, span, "parse", time.Since(tp))
 	if err != nil {
+		status := http.StatusBadRequest
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			server.WriteError(w, http.StatusRequestEntityTooLarge, err)
-			return
+			status = http.StatusRequestEntityTooLarge
 		}
-		server.WriteError(w, http.StatusBadRequest, err)
+		server.WriteError(w, status, err)
+		g.finishRequest(span, g.tel.reqIngest, telemetry.SlowEntry{Path: "/ingest", Status: status}, t0)
 		return
 	}
+	tr := time.Now()
 	buckets := make([][]geom.Point, len(g.peers))
 	for _, p := range pts {
 		i := g.peerIndex(p)
 		buckets[i] = append(buckets[i], p)
 	}
+	telemetry.Observe(g.tel.route, span, "route", time.Since(tr))
 	// Windowed peers stamp ingest batches: forward the client's explicit
 	// stamp so every routed sub-batch lands with the same timestamp it
 	// would have carried against a single daemon (without it, each peer
@@ -936,7 +1030,8 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 		mu     sync.Mutex
 		failed []string
 	)
-	now := time.Now()
+	tf := time.Now()
+	now := tf
 	for i, bucket := range buckets {
 		if len(bucket) == 0 {
 			continue
@@ -964,7 +1059,7 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 				chunk := bucket[:n]
 				bucket = bucket[n:]
 				body := pointio.AppendBinaryBatch(getForwardBuf(), chunk)
-				blob, _, _, err := g.do(r.Context(), p, http.MethodPost, "/ingest",
+				blob, _, _, err := g.do(ctx, p, http.MethodPost, "/ingest",
 					pointio.BinaryContentType, body, stampHdr)
 				if err != nil {
 					// The buffer is NOT recycled on failure: a timed-out
@@ -990,10 +1085,12 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}(p, bucket)
 	}
 	wg.Wait()
+	telemetry.Observe(g.tel.forward, span, "forward", time.Since(tf))
 	if len(failed) > 0 {
 		server.WriteError(w, http.StatusBadGateway,
 			fmt.Errorf("cluster: ingest failed on %d peer(s) — retrying the whole batch is safe (duplicates collapse): %s",
 				len(failed), strings.Join(failed, "; ")))
+		g.finishRequest(span, g.tel.reqIngest, telemetry.SlowEntry{Path: "/ingest", Status: http.StatusBadGateway}, t0)
 		return
 	}
 	// TotalPoints is the gateway's cumulative routed count, not a sum of
@@ -1006,10 +1103,14 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 		Ingested:    len(pts),
 		TotalPoints: g.pointsRouted.Load(),
 	})
+	g.finishRequest(span, g.tel.reqIngest, telemetry.SlowEntry{Path: "/ingest", Status: http.StatusOK}, t0)
 }
 
 func (g *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
+	version, commit := telemetry.BuildInfo()
 	resp := StatsResponse{
+		Version:          version,
+		Commit:           commit,
 		Peers:            make([]PeerStatus, len(g.peers)),
 		PartialPolicy:    g.cfg.Partial,
 		StartedAt:        g.start.UTC().Format(time.RFC3339),
@@ -1070,6 +1171,7 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	w.Header().Set("Content-Type", "text/plain")
+	version, commit := telemetry.BuildInfo()
 	switch {
 	case up == len(g.peers):
 		fmt.Fprintln(w, "ok")
@@ -1079,4 +1181,5 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "no live peers")
 	}
+	fmt.Fprintf(w, "build %s (%s)\n", version, commit)
 }

@@ -17,6 +17,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // peer tracks one backend daemon: its base URL plus health and traffic
@@ -186,6 +188,13 @@ func (g *Gateway) attempt(ctx context.Context, p *peer, method, path, contentTyp
 		for _, v := range vs {
 			req.Header.Add(k, v)
 		}
+	}
+	// Propagate the request's trace ID (attached by beginTrace, or a
+	// watcher/refresher session ID) to the peer. telemetry.Detach and
+	// WithTimeout both preserve context values, so the ID survives the
+	// singleflight detach in refresh and the per-attempt deadline here.
+	if tr := telemetry.TraceFrom(ctx); tr != "" {
+		req.Header.Set(telemetry.TraceHeader, tr)
 	}
 	resp, err := g.client.Do(req)
 	if err != nil {

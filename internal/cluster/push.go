@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 // StalenessHeader is the response header on a push gateway's /query and
@@ -104,12 +105,15 @@ func (g *Gateway) foldStaleness(now time.Time) time.Duration {
 // an error response. Under PartialDegrade a failed synchronous refresh
 // over an existing fold falls back to serving stale — a stale merged
 // sketch is still a valid answer, which is the whole point.
-func (g *Gateway) ensureFreshPush(w http.ResponseWriter, r *http.Request) bool {
+func (g *Gateway) ensureFreshPush(w http.ResponseWriter, ctx context.Context, span *telemetry.Span) bool {
 	age := g.foldStaleness(time.Now())
 	overBound := g.cfg.MaxStale >= 0 && age > g.cfg.MaxStale
 	if !g.haveFold() || overBound {
 		g.syncRefreshes.Add(1)
-		if err := g.refresh(r.Context()); err != nil {
+		// Only the sync-refresh path records a "refresh" stage: a stale
+		// serve pays zero request-path round trips, and recording its
+		// near-zero gate time would drown the histogram in noise.
+		if err := g.refreshTimed(ctx, span); err != nil {
 			if !g.haveFold() || g.cfg.Partial == PartialFail {
 				server.WriteError(w, federateStatus(err), err)
 				return false
@@ -165,6 +169,13 @@ func (g *Gateway) setPushHeadersLocked(w http.ResponseWriter) {
 // the per-peer breakers keep a dead fleet from being hammered.
 func (g *Gateway) refresher() {
 	defer g.watcherWG.Done()
+	// Background rounds carry their own stable trace ID so a peer's slow
+	// /sketch fetches driven by revalidation are attributable in its
+	// slow-query log, distinct from any client's request trace.
+	ctx := g.stopCtx
+	if g.cfg.Trace {
+		ctx = telemetry.WithTrace(ctx, "bg-"+telemetry.NewTraceID()[:16])
+	}
 	pause := 50 * time.Millisecond
 	for {
 		select {
@@ -174,7 +185,7 @@ func (g *Gateway) refresher() {
 		}
 		for g.dirtyFold() {
 			g.bgRefreshes.Add(1)
-			if err := g.refresh(g.stopCtx); err != nil {
+			if err := g.refresh(ctx); err != nil {
 				select {
 				case <-g.stop:
 					return
@@ -198,6 +209,15 @@ func (g *Gateway) refresher() {
 func (g *Gateway) watchPeer(i int, p *peer) {
 	defer g.watcherWG.Done()
 	rng := rand.New(rand.NewPCG(uint64(i)+1, rand.Uint64()))
+	// Each watcher session carries a stable trace ID on its polls so a
+	// peer's /watch and fallback /sketch traffic is attributable to the
+	// specific gateway watcher driving it.
+	wctx := g.stopCtx
+	wid := ""
+	if g.cfg.Trace {
+		wid = "watch" + strconv.Itoa(i) + "-" + telemetry.NewTraceID()[:16]
+		wctx = telemetry.WithTrace(wctx, wid)
+	}
 	var (
 		lastEpoch int64
 		pollETag  string
@@ -235,10 +255,10 @@ func (g *Gateway) watchPeer(i int, p *peer) {
 		wasHealthy := p.watchOK.Load()
 		var err error
 		if polling {
-			err = g.pollOnce(p, &pollETag)
+			err = g.pollOnce(wctx, p, &pollETag)
 		} else {
 			var fallback bool
-			fallback, err = g.watchOnce(p, &lastEpoch)
+			fallback, err = g.watchOnce(p, &lastEpoch, wid)
 			if fallback {
 				polling = true
 				g.watchPollFallbacks.Add(1)
@@ -276,8 +296,9 @@ func (g *Gateway) watchPeer(i int, p *peer) {
 
 // watchOnce runs one /watch long-poll against the peer, updating
 // *lastEpoch and marking the cache dirty when the peer's epoch moved.
-// fallback reports a 404 — the peer predates /watch.
-func (g *Gateway) watchOnce(p *peer, lastEpoch *int64) (fallback bool, err error) {
+// fallback reports a 404 — the peer predates /watch. wid, when
+// non-empty, is the watcher's trace ID, propagated on the poll.
+func (g *Gateway) watchOnce(p *peer, lastEpoch *int64, wid string) (fallback bool, err error) {
 	p.requests.Add(1)
 	// The request deadline leaves the peer's long-poll room to expire on
 	// its own (RequestTimeout of grace past WatchTimeout) and is bound to
@@ -288,6 +309,9 @@ func (g *Gateway) watchOnce(p *peer, lastEpoch *int64) (fallback bool, err error
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return false, err
+	}
+	if wid != "" {
+		req.Header.Set(telemetry.TraceHeader, wid)
 	}
 	resp, err := g.client.Do(req)
 	if err != nil {
@@ -318,12 +342,12 @@ func (g *Gateway) watchOnce(p *peer, lastEpoch *int64) (fallback bool, err error
 // the poller (peerSnaps belong to the scatter flight leader). A moved —
 // or absent — ETag marks the cache dirty; the scatter round then
 // re-fetches with its own conditional GET.
-func (g *Gateway) pollOnce(p *peer, etag *string) error {
+func (g *Gateway) pollOnce(ctx context.Context, p *peer, etag *string) error {
 	var extra http.Header
 	if *etag != "" {
 		extra = http.Header{"If-None-Match": []string{*etag}}
 	}
-	_, hdr, status, err := g.do(g.stopCtx, p, http.MethodGet, "/sketch", "", nil, extra)
+	_, hdr, status, err := g.do(ctx, p, http.MethodGet, "/sketch", "", nil, extra)
 	if err != nil {
 		return err
 	}

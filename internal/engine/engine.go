@@ -592,6 +592,40 @@ func (e *Engine) Query() (sketch.Result, error) {
 // the lock-free subset of Stats for hot paths.
 func (e *Engine) Enqueued() int64 { return e.enqueued.Load() }
 
+// Shards returns the number of worker shards.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Processed returns the number of points fully folded into shard
+// sketches — the lock-free subset of Stats for metric scrapes.
+func (e *Engine) Processed() int64 {
+	var n int64
+	for _, sh := range e.shards {
+		n += sh.done.Load()
+	}
+	return n
+}
+
+// ShardProcessed returns shard i's processed-point count, lock-free.
+func (e *Engine) ShardProcessed(i int) int64 { return e.shards[i].done.Load() }
+
+// SpaceWords returns the live sketch words summed over shards, briefly
+// locking each shard.
+func (e *Engine) SpaceWords() int {
+	var w int
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		w += sh.sk.Space()
+		sh.mu.Unlock()
+	}
+	return w
+}
+
+// SnapshotHits returns the number of snapshot-cache hits.
+func (e *Engine) SnapshotHits() int64 { return e.snapHits.Load() }
+
+// SnapshotMisses returns the number of snapshot-cache rebuilds.
+func (e *Engine) SnapshotMisses() int64 { return e.snapMisses.Load() }
+
 // Stats returns the engine's counters. Processed/Enqueued are atomic;
 // SpaceWords briefly locks each shard.
 func (e *Engine) Stats() Stats {

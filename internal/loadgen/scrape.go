@@ -1,0 +1,90 @@
+package loadgen
+
+// Prometheus-text scraping for the load harness: sketchload -scrape
+// snapshots the target's /metrics before and after a run and folds the
+// deltas into the report, so one load run records not just client-side
+// latency but what the server spent per stage to absorb it.
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// ScrapeMetrics fetches base+"/metrics" and parses the Prometheus text
+// exposition into a flat map keyed "name{labels}" (bare name when the
+// series has no labels). Comment lines (# HELP, # TYPE) are skipped;
+// histogram series appear under their _bucket/_sum/_count names.
+func ScrapeMetrics(client *http.Client, base string) (map[string]float64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape %s/metrics: HTTP %d", base, resp.StatusCode)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("scrape %s/metrics: malformed line %q", base, line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("scrape %s/metrics: line %q: %w", base, line, err)
+		}
+		out[strings.TrimSpace(line[:i])] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MetricsDelta subtracts a before-snapshot from an after-snapshot,
+// series by series. Series absent from before count from zero; series
+// absent from after are dropped (they can no longer be attributed).
+func MetricsDelta(before, after map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(after))
+	for k, v := range after {
+		out[k] = v - before[k]
+	}
+	return out
+}
+
+// StageDeltas distills a metrics delta into report-ready numbers: the
+// mean latency of each *_stage_seconds histogram over the run window
+// ("<stage>-ns", derived from the _sum/_count deltas), each stage's
+// observation count ("<stage>-count"), and every label-free counter
+// that moved, keyed by its name with the sketch_daemon_/sketch_gateway_
+// prefix and _total suffix stripped.
+func StageDeltas(delta map[string]float64) map[string]float64 {
+	out := make(map[string]float64)
+	for k, sum := range delta {
+		if i := strings.Index(k, `_stage_seconds_sum{stage="`); i >= 0 {
+			stage := strings.TrimSuffix(k[i+len(`_stage_seconds_sum{stage="`):], `"}`)
+			count := delta[strings.Replace(k, "_stage_seconds_sum{", "_stage_seconds_count{", 1)]
+			if count > 0 {
+				out[stage+"-ns"] = sum / count * 1e9
+				out[stage+"-count"] = count
+			}
+			continue
+		}
+		if strings.HasSuffix(k, "_total") && !strings.Contains(k, "{") && sum != 0 {
+			name := strings.TrimSuffix(k, "_total")
+			name = strings.TrimPrefix(name, "sketch_daemon_")
+			name = strings.TrimPrefix(name, "sketch_gateway_")
+			out[name] = sum
+		}
+	}
+	return out
+}

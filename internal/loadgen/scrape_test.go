@@ -1,0 +1,101 @@
+package loadgen
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+const scrapeBody = `# HELP sketch_daemon_ingest_requests_total POST /ingest calls served.
+# TYPE sketch_daemon_ingest_requests_total counter
+sketch_daemon_ingest_requests_total 12
+# HELP sketch_daemon_engine_epoch Ingest epoch.
+# TYPE sketch_daemon_engine_epoch gauge
+sketch_daemon_engine_epoch 7
+# HELP sketch_daemon_stage_seconds Per-stage request latency.
+# TYPE sketch_daemon_stage_seconds histogram
+sketch_daemon_stage_seconds_bucket{stage="parse",le="0.001"} 3
+sketch_daemon_stage_seconds_bucket{stage="parse",le="+Inf"} 4
+sketch_daemon_stage_seconds_sum{stage="parse"} 0.008
+sketch_daemon_stage_seconds_count{stage="parse"} 4
+`
+
+func TestScrapeMetrics(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte(scrapeBody))
+	}))
+	defer ts.Close()
+
+	m, err := ScrapeMetrics(ts.Client(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["sketch_daemon_ingest_requests_total"] != 12 {
+		t.Fatalf("counter = %g, want 12", m["sketch_daemon_ingest_requests_total"])
+	}
+	if m["sketch_daemon_engine_epoch"] != 7 {
+		t.Fatalf("gauge = %g, want 7", m["sketch_daemon_engine_epoch"])
+	}
+	if m[`sketch_daemon_stage_seconds_sum{stage="parse"}`] != 0.008 {
+		t.Fatalf("histogram sum = %g, want 0.008", m[`sketch_daemon_stage_seconds_sum{stage="parse"}`])
+	}
+	if m[`sketch_daemon_stage_seconds_bucket{stage="parse",le="+Inf"}`] != 4 {
+		t.Fatalf("bucket parse failed: %v", m)
+	}
+}
+
+func TestScrapeMetricsErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	}))
+	defer ts.Close()
+	if _, err := ScrapeMetrics(ts.Client(), ts.URL); err == nil {
+		t.Fatal("want an error on a 404 target (e.g. -metrics=false)")
+	}
+}
+
+func TestMetricsDeltaAndStageDeltas(t *testing.T) {
+	before := map[string]float64{
+		"sketch_gateway_queries_total":                      10,
+		`sketch_gateway_stage_seconds_sum{stage="merge"}`:   1.0,
+		`sketch_gateway_stage_seconds_count{stage="merge"}`: 100,
+		"sketch_gateway_uptime_seconds":                     5,
+	}
+	after := map[string]float64{
+		"sketch_gateway_queries_total":                      25,
+		`sketch_gateway_stage_seconds_sum{stage="merge"}`:   1.2,
+		`sketch_gateway_stage_seconds_count{stage="merge"}`: 150,
+		`sketch_gateway_stage_seconds_sum{stage="fetch"}`:   0.5,
+		`sketch_gateway_stage_seconds_count{stage="fetch"}`: 0, // registered, never observed
+		"sketch_gateway_uptime_seconds":                     9,
+	}
+	d := MetricsDelta(before, after)
+	if d["sketch_gateway_queries_total"] != 15 {
+		t.Fatalf("delta = %g, want 15", d["sketch_gateway_queries_total"])
+	}
+	if d[`sketch_gateway_stage_seconds_count{stage="merge"}`] != 50 {
+		t.Fatalf("count delta = %g, want 50", d[`sketch_gateway_stage_seconds_count{stage="merge"}`])
+	}
+
+	s := StageDeltas(d)
+	// 0.2s over 50 new observations → 4ms mean.
+	if got := s["merge-ns"]; got < 3.99e6 || got > 4.01e6 {
+		t.Fatalf("merge-ns = %g, want ~4e6", got)
+	}
+	if s["merge-count"] != 50 {
+		t.Fatalf("merge-count = %g, want 50", s["merge-count"])
+	}
+	if s["queries"] != 15 {
+		t.Fatalf("queries counter delta = %g, want 15 (prefix and _total stripped)", s["queries"])
+	}
+	if _, ok := s["fetch-ns"]; ok {
+		t.Fatal("a stage with zero new observations must not report a mean")
+	}
+	if _, ok := s["uptime_seconds"]; ok {
+		t.Fatal("non-counter series must not leak into stage deltas")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/f0"
 	"repro/internal/geom"
 	"repro/internal/pointio"
+	"repro/internal/telemetry"
 	"repro/pkg/sketch"
 )
 
@@ -89,6 +91,20 @@ type Config struct {
 	// client ?timeout= shorter than this is honored, a longer one is
 	// clamped. Defaults to 30s.
 	WatchTimeout time.Duration
+
+	// NoMetrics disables the GET /metrics Prometheus exposition endpoint
+	// and the per-stage latency histograms behind it. Inbound trace IDs
+	// are still echoed and the slow-query log still works.
+	NoMetrics bool
+
+	// SlowQuery arms the slow-query log: any instrumented request slower
+	// than this threshold emits one structured JSON line (schema in
+	// docs/observability.md) to SlowQueryWriter. Zero disables it.
+	SlowQuery time.Duration
+
+	// SlowQueryWriter receives slow-query log lines. Defaults to
+	// os.Stderr.
+	SlowQueryWriter io.Writer
 }
 
 // StampHeader is the ingest request header carrying the batch's explicit
@@ -133,6 +149,10 @@ type Server struct {
 	watchRequests atomic.Int64 // GET /watch calls served
 	watchChanged  atomic.Int64 // /watch answers that reported a newer epoch
 	watchTimeouts atomic.Int64 // /watch answers that timed out unchanged
+
+	reg  *telemetry.Registry // /metrics families; nil when NoMetrics
+	slow *telemetry.SlowLog
+	tel  daemonTelemetry
 }
 
 // New builds a Server around an engine.
@@ -153,6 +173,7 @@ func New(cfg Config) (*Server, error) {
 		cfg.WatchTimeout = 30 * time.Second
 	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
+	s.initTelemetry()
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /query", s.handleQuery)
 	s.mux.HandleFunc("GET /sketch", s.handleSketch)
@@ -160,6 +181,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.reg != nil {
+		s.mux.Handle("GET /metrics", s.reg)
+	}
 	return s, nil
 }
 
@@ -204,6 +228,10 @@ type WatchResponse struct {
 type StatsResponse struct {
 	// Engine mirrors engine.Stats.
 	Engine engine.Stats `json:"engine"`
+	// Version is the binary's build version (ldflags or module info).
+	Version string `json:"version"`
+	// Commit is the binary's VCS revision, when known.
+	Commit string `json:"commit"`
 	// StartedAt is when the server was built (RFC 3339).
 	StartedAt string `json:"started_at"`
 	// UptimeSeconds is the time since the server was built.
@@ -269,22 +297,29 @@ func WriteError(w http.ResponseWriter, code int, err error) {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	span := s.beginTrace(w, r)
 	s.ingestRequests.Add(1)
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	tp := time.Now()
 	pts, err := pointio.ReadBatch(body, r.Header.Get("Content-Type"), s.cfg.Dim)
+	telemetry.Observe(s.tel.parse, span, "parse", time.Since(tp))
 	if err != nil {
+		status := http.StatusBadRequest
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			WriteError(w, http.StatusRequestEntityTooLarge, err)
-			return
+			status = http.StatusRequestEntityTooLarge
 		}
-		WriteError(w, http.StatusBadRequest, err)
+		WriteError(w, status, err)
+		s.finishRequest(span, s.tel.reqIngest, "/ingest", status, s.cfg.Engine.Epoch(), t0)
 		return
 	}
+	ti := time.Now()
 	if s.cfg.Windowed {
 		stamp, err := ingestStamp(r, s.cfg.Clock)
 		if err != nil {
 			WriteError(w, http.StatusBadRequest, err)
+			s.finishRequest(span, s.tel.reqIngest, "/ingest", http.StatusBadRequest, s.cfg.Engine.Epoch(), t0)
 			return
 		}
 		stamps := make([]int64, len(pts))
@@ -295,11 +330,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	} else {
 		s.cfg.Engine.ProcessBatch(pts)
 	}
+	telemetry.Observe(s.tel.ingest, span, "ingest", time.Since(ti))
 	s.pointsIngested.Add(int64(len(pts)))
 	WriteJSON(w, http.StatusOK, IngestResponse{
 		Ingested:    len(pts),
 		TotalPoints: s.cfg.Engine.Enqueued(),
 	})
+	s.finishRequest(span, s.tel.reqIngest, "/ingest", http.StatusOK, s.cfg.Engine.Epoch(), t0)
 }
 
 // ingestStamp resolves the timestamp of one windowed ingest batch: the
@@ -421,9 +458,12 @@ func (s *Server) writeNotModified(w http.ResponseWriter, epoch int64) {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	span := s.beginTrace(w, r)
 	k, err := ParseK(r)
 	if err != nil {
 		WriteError(w, http.StatusBadRequest, err)
+		s.finishRequest(span, s.tel.reqQuery, "/query", http.StatusBadRequest, 0, t0)
 		return
 	}
 	var (
@@ -431,7 +471,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		epoch  int64
 		notMod bool
 	)
+	ts := time.Now()
 	err = s.cfg.Engine.WithSnapshotEpoch(func(sk sketch.Sketch, ep int64) error {
+		// Time until the closure runs is the snapshot stage: the wait for
+		// the engine's drain + merged-snapshot (re)build.
+		telemetry.Observe(s.tel.snapshot, span, "snapshot", time.Since(ts))
 		epoch = ep
 		if MatchETag(r, s.etag(ep)) {
 			// Nothing ingested since the client's last fetch: the estimate
@@ -440,20 +484,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			notMod = true
 			return nil
 		}
+		ta := time.Now()
 		var qerr error
 		resp, qerr = AnswerQuery(sk, k)
+		telemetry.Observe(s.tel.answer, span, "answer", time.Since(ta))
 		return qerr
 	})
 	if err != nil {
-		WriteError(w, QueryErrorStatus(err), err)
+		status := QueryErrorStatus(err)
+		WriteError(w, status, err)
+		s.finishRequest(span, s.tel.reqQuery, "/query", status, epoch, t0)
 		return
 	}
 	if notMod {
 		s.writeNotModified(w, epoch)
+		s.finishRequest(span, s.tel.reqQuery, "/query", http.StatusNotModified, epoch, t0)
 		return
 	}
 	s.stampSnapshot(w, epoch)
 	WriteJSON(w, http.StatusOK, resp)
+	s.finishRequest(span, s.tel.reqQuery, "/query", http.StatusOK, epoch, t0)
 }
 
 // handleWatch is the push-propagation hook: a long-poll that answers as
@@ -512,22 +562,30 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 // (an empty sketch merges as a no-op); a family with no wire format
 // answers 501.
 func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	span := s.beginTrace(w, r)
+	te := time.Now()
 	blob, epoch, err := s.marshaledSnapshot(r)
+	telemetry.Observe(s.tel.export, span, "export", time.Since(te))
 	switch {
 	case err == nil:
 	case errors.Is(err, sketch.ErrNotSerializable):
 		WriteError(w, http.StatusNotImplemented, err)
+		s.finishRequest(span, s.tel.reqSketch, "/sketch", http.StatusNotImplemented, epoch, t0)
 		return
 	default:
 		WriteError(w, http.StatusInternalServerError, err)
+		s.finishRequest(span, s.tel.reqSketch, "/sketch", http.StatusInternalServerError, epoch, t0)
 		return
 	}
 	if blob == nil {
 		s.writeNotModified(w, epoch)
+		s.finishRequest(span, s.tel.reqSketch, "/sketch", http.StatusNotModified, epoch, t0)
 		return
 	}
 	s.stampSnapshot(w, epoch)
 	WriteSketch(w, blob)
+	s.finishRequest(span, s.tel.reqSketch, "/sketch", http.StatusOK, epoch, t0)
 }
 
 // marshaledSnapshot returns the serialized merged snapshot and its
@@ -574,8 +632,11 @@ func WriteSketch(w http.ResponseWriter, blob []byte) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	version, commit := telemetry.BuildInfo()
 	WriteJSON(w, http.StatusOK, StatsResponse{
 		Engine:                 s.cfg.Engine.Stats(),
+		Version:                version,
+		Commit:                 commit,
 		StartedAt:              s.start.UTC().Format(time.RFC3339),
 		UptimeSeconds:          time.Since(s.start).Seconds(),
 		RestoredFromCheckpoint: s.cfg.Restored,
@@ -611,5 +672,6 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain")
-	fmt.Fprintln(w, "ok")
+	version, commit := telemetry.BuildInfo()
+	fmt.Fprintf(w, "ok\nbuild %s (%s)\n", version, commit)
 }

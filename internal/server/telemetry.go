@@ -1,0 +1,157 @@
+package server
+
+// Daemon-side observability: the /metrics registry mirroring every
+// /stats counter, per-stage latency histograms, inbound X-Sketch-Trace
+// handling, and the slow-query log. Instrumentation on the hot path is
+// allocation-free: histograms record atomically, spans are pooled and
+// only opened when a request is traced or the slow-query log is armed.
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// daemonTelemetry holds the daemon's per-stage and per-endpoint latency
+// histograms. All fields are nil when metrics are disabled; recording
+// goes through telemetry.Observe, which tolerates that.
+type daemonTelemetry struct {
+	parse    *telemetry.Histogram // ingest body decode
+	ingest   *telemetry.Histogram // engine batch hand-off
+	snapshot *telemetry.Histogram // snapshot build/merge wait
+	answer   *telemetry.Histogram // query answer from the snapshot
+	export   *telemetry.Histogram // /sketch marshal (or cache hit)
+
+	reqIngest *telemetry.Histogram
+	reqQuery  *telemetry.Histogram
+	reqSketch *telemetry.Histogram
+}
+
+// initTelemetry builds the slow-query log and, unless disabled, the
+// metrics registry mirroring the /stats surface.
+func (s *Server) initTelemetry() {
+	s.slow = telemetry.NewSlowLog(s.cfg.SlowQuery, s.cfg.SlowQueryWriter)
+	if s.cfg.NoMetrics {
+		return
+	}
+	r := telemetry.NewRegistry()
+	s.reg = r
+
+	e := s.cfg.Engine
+	counter := func(name, help string, fn func() float64) {
+		r.CounterFunc("sketch_daemon_"+name, help, "", fn)
+	}
+	gauge := func(name, help string, fn func() float64) {
+		r.GaugeFunc("sketch_daemon_"+name, help, "", fn)
+	}
+	b01 := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+
+	gauge("engine_shards", "Number of engine worker shards.",
+		func() float64 { return float64(e.Shards()) })
+	counter("engine_enqueued_points_total", "Points handed to the engine.",
+		func() float64 { return float64(e.Enqueued()) })
+	counter("engine_processed_points_total", "Points folded into shard sketches.",
+		func() float64 { return float64(e.Processed()) })
+	for i := 0; i < e.Shards(); i++ {
+		i := i
+		r.CounterFunc("sketch_daemon_engine_shard_processed_points_total",
+			"Points folded into one shard's sketch.",
+			`shard="`+strconv.Itoa(i)+`"`,
+			func() float64 { return float64(e.ShardProcessed(i)) })
+	}
+	gauge("engine_space_words", "Live sketch words summed over shards.",
+		func() float64 { return float64(e.SpaceWords()) })
+	gauge("engine_epoch", "Ingest epoch of the engine (resets on restart).",
+		func() float64 { return float64(e.Epoch()) })
+	counter("engine_snapshot_hits_total", "Snapshot-cache hits.",
+		func() float64 { return float64(e.SnapshotHits()) })
+	counter("engine_snapshot_misses_total", "Snapshot-cache rebuilds.",
+		func() float64 { return float64(e.SnapshotMisses()) })
+	gauge("start_time_seconds", "Unix time the server was built.",
+		func() float64 { return float64(s.start.UnixNano()) / 1e9 })
+	gauge("uptime_seconds", "Seconds since the server was built.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	gauge("restored_from_checkpoint", "1 if the engine was restored from a checkpoint.",
+		func() float64 { return b01(s.cfg.Restored) })
+	gauge("windowed", "1 if this daemon serves time-windowed sketches.",
+		func() float64 { return b01(s.cfg.Windowed) })
+	counter("ingest_requests_total", "POST /ingest calls served.",
+		func() float64 { return float64(s.ingestRequests.Load()) })
+	counter("points_ingested_total", "Points accepted over HTTP.",
+		func() float64 { return float64(s.pointsIngested.Load()) })
+	counter("sketch_cache_hits_total", "GET /sketch served from the cached marshal.",
+		func() float64 { return float64(s.sketchCacheHits.Load()) })
+	counter("sketch_cache_misses_total", "GET /sketch re-serializations.",
+		func() float64 { return float64(s.sketchCacheMisses.Load()) })
+	counter("not_modified_total", "Conditional GETs answered 304.",
+		func() float64 { return float64(s.notModified.Load()) })
+	counter("watch_requests_total", "GET /watch long-polls served.",
+		func() float64 { return float64(s.watchRequests.Load()) })
+	counter("watch_changed_total", "/watch answers reporting a newer epoch.",
+		func() float64 { return float64(s.watchChanged.Load()) })
+	counter("watch_timeouts_total", "/watch answers that timed out unchanged.",
+		func() float64 { return float64(s.watchTimeouts.Load()) })
+	telemetry.RegisterBuildInfo(r, "daemon")
+
+	stage := func(name string) *telemetry.Histogram {
+		return r.NewHistogram("sketch_daemon_stage_seconds",
+			"Per-stage request latency.", `stage="`+name+`"`)
+	}
+	s.tel.parse = stage("parse")
+	s.tel.ingest = stage("ingest")
+	s.tel.snapshot = stage("snapshot")
+	s.tel.answer = stage("answer")
+	s.tel.export = stage("export")
+	req := func(path string) *telemetry.Histogram {
+		return r.NewHistogram("sketch_daemon_request_seconds",
+			"End-to-end handler latency.", `path="`+path+`"`)
+	}
+	s.tel.reqIngest = req("/ingest")
+	s.tel.reqQuery = req("/query")
+	s.tel.reqSketch = req("/sketch")
+}
+
+// MetricsRegistry returns the daemon's metrics registry, or nil when
+// metrics are disabled.
+func (s *Server) MetricsRegistry() *telemetry.Registry { return s.reg }
+
+// beginTrace resolves the request's trace ID (the daemon only honors
+// inbound IDs; the gateway is the minting tier), echoes it on the
+// response, and opens a pooled span when the request is traced or the
+// slow-query log is armed. Returns nil when no per-stage timings are
+// needed — the common untraced case costs one header lookup.
+func (s *Server) beginTrace(w http.ResponseWriter, r *http.Request) *telemetry.Span {
+	trace := r.Header.Get(telemetry.TraceHeader)
+	if trace != "" {
+		w.Header().Set(telemetry.TraceHeader, trace)
+	} else if !s.slow.Enabled() {
+		return nil
+	}
+	return telemetry.NewSpan(trace)
+}
+
+// finishRequest closes out one instrumented request: records the
+// end-to-end latency, feeds the slow-query log, and releases the span.
+func (s *Server) finishRequest(span *telemetry.Span, reqHist *telemetry.Histogram, path string, status int, epoch int64, t0 time.Time) {
+	total := time.Since(t0)
+	if reqHist != nil {
+		reqHist.Record(total)
+	}
+	if span == nil {
+		return
+	}
+	s.slow.Maybe(telemetry.SlowEntry{
+		Tier:   "daemon",
+		Path:   path,
+		Status: status,
+		Epoch:  epoch,
+	}, span, total)
+	span.Release()
+}

@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// Version is the release version stamped at link time via
+// -ldflags "-X repro/internal/telemetry.Version=...". When unset it
+// falls back to the module version from the embedded build info.
+var Version string
+
+// Commit is the VCS revision stamped at link time via
+// -ldflags "-X repro/internal/telemetry.Commit=...". When unset it
+// falls back to the vcs.revision build setting.
+var Commit string
+
+var buildOnce sync.Once
+var buildVersion, buildCommit string
+
+// BuildInfo resolves the binary's version and commit once: ldflags
+// overrides win, then runtime/debug.ReadBuildInfo, then "unknown".
+func BuildInfo() (version, commit string) {
+	buildOnce.Do(func() {
+		buildVersion, buildCommit = Version, Commit
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			if buildVersion == "" && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+				buildVersion = bi.Main.Version
+			}
+			if buildCommit == "" {
+				for _, s := range bi.Settings {
+					if s.Key == "vcs.revision" {
+						buildCommit = s.Value
+					}
+				}
+			}
+		}
+		if buildVersion == "" {
+			buildVersion = "dev"
+		}
+		if buildCommit == "" {
+			buildCommit = "unknown"
+		}
+	})
+	return buildVersion, buildCommit
+}
+
+// RegisterBuildInfo adds the conventional sketch_build_info gauge
+// (constant 1, identity in the labels) to a registry.
+func RegisterBuildInfo(r *Registry, tier string) {
+	v, c := BuildInfo()
+	labels := `tier="` + LabelValue(tier) + `",version="` + LabelValue(v) + `",commit="` + LabelValue(c) + `"`
+	r.GaugeFunc("sketch_build_info", "Build identity of the serving binary.", labels, func() float64 { return 1 })
+}

@@ -1,0 +1,381 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// seriesLine matches one exposition sample: metric name, optional label
+// set, one space, a float value.
+var seriesLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? \S+$`)
+
+func buildTestRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	r.CounterFunc("test_requests_total", "Requests served.", "", func() float64 { return 42 })
+	r.GaugeFunc("test_up", "Liveness.", `peer="a"`, func() float64 { return 1 })
+	r.GaugeFunc("test_up", "Liveness.", `peer="b"`, func() float64 { return 0 })
+	h := r.NewHistogram("test_stage_seconds", "Stage latency.", `stage="merge"`)
+	for _, d := range []time.Duration{time.Microsecond, time.Millisecond, 5 * time.Millisecond, time.Second} {
+		h.Record(d)
+	}
+	return r
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := buildTestRegistry(t)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	helps := make(map[string]int)
+	types := make(map[string]int)
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			t.Fatalf("blank line in exposition output")
+		}
+		if f, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name := strings.Fields(f)[0]
+			helps[name]++
+			if seen[name] {
+				t.Fatalf("HELP for %s after its series (families must be contiguous)", name)
+			}
+			continue
+		}
+		if f, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			fields := strings.Fields(f)
+			types[fields[0]]++
+			switch fields[1] {
+			case TypeCounter, TypeGauge, TypeHistogram:
+			default:
+				t.Fatalf("unknown TYPE %q", fields[1])
+			}
+			continue
+		}
+		if !seriesLine.MatchString(line) {
+			t.Fatalf("malformed series line %q", line)
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if _, err := strconv.ParseFloat(line[i+1:], 64); err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		seen[base] = true
+	}
+	for _, name := range []string{"test_requests_total", "test_up", "test_stage_seconds"} {
+		if helps[name] != 1 || types[name] != 1 {
+			t.Fatalf("%s: want exactly one HELP and one TYPE, got %d/%d", name, helps[name], types[name])
+		}
+		if !seen[name] {
+			t.Fatalf("%s: no series emitted", name)
+		}
+	}
+}
+
+func TestExpositionHistogramBuckets(t *testing.T) {
+	r := buildTestRegistry(t)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		prevCum  int64 = -1
+		prevLE         = -1.0
+		infCum   int64 = -1
+		count    int64 = -1
+		nBuckets int
+	)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, "test_stage_seconds_bucket{"):
+			nBuckets++
+			i := strings.LastIndexByte(line, ' ')
+			cum, err := strconv.ParseInt(line[i+1:], 10, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cum < prevCum {
+				t.Fatalf("bucket counts not cumulative: %d after %d in %q", cum, prevCum, line)
+			}
+			prevCum = cum
+			le := line[strings.Index(line, `le="`)+len(`le="`) : strings.LastIndex(line, `"`)]
+			if le == "+Inf" {
+				infCum = cum
+				continue
+			}
+			f, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f <= prevLE {
+				t.Fatalf("le bounds not increasing: %g after %g", f, prevLE)
+			}
+			prevLE = f
+		case strings.HasPrefix(line, "test_stage_seconds_count"):
+			i := strings.LastIndexByte(line, ' ')
+			c, err := strconv.ParseInt(line[i+1:], 10, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			count = c
+		}
+	}
+	if nBuckets < 2 {
+		t.Fatalf("want at least one finite bucket plus +Inf, got %d", nBuckets)
+	}
+	if infCum != 4 || count != 4 {
+		t.Fatalf("+Inf bucket %d and _count %d must both equal the 4 observations", infCum, count)
+	}
+}
+
+func TestServeHTTPContentType(t *testing.T) {
+	r := buildTestRegistry(t)
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type %q missing exposition version", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "test_requests_total 42") {
+		t.Fatalf("body missing counter sample:\n%s", rec.Body.String())
+	}
+}
+
+func TestSnapshotAndFamilies(t *testing.T) {
+	r := buildTestRegistry(t)
+	snap := r.Snapshot()
+	if snap["test_requests_total"] != 42 {
+		t.Fatalf("snapshot counter = %g, want 42", snap["test_requests_total"])
+	}
+	if snap[`test_up{peer="a"}`] != 1 || snap[`test_up{peer="b"}`] != 0 {
+		t.Fatalf("snapshot gauges wrong: %v", snap)
+	}
+	if snap[`test_stage_seconds_count{stage="merge"}`] != 4 {
+		t.Fatalf("snapshot histogram count = %g, want 4", snap[`test_stage_seconds_count{stage="merge"}`])
+	}
+	fams := r.Families()
+	want := []string{"test_requests_total", "test_stage_seconds", "test_up"}
+	if len(fams) != len(want) {
+		t.Fatalf("families %v, want %v", fams, want)
+	}
+	for i := range want {
+		if fams[i] != want[i] {
+			t.Fatalf("families %v, want %v", fams, want)
+		}
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("dup_total", "x.", "", func() float64 { return 0 })
+	mustPanic(t, "duplicate series", func() {
+		r.CounterFunc("dup_total", "x.", "", func() float64 { return 0 })
+	})
+	mustPanic(t, "type conflict", func() {
+		r.GaugeFunc("dup_total", "x.", `a="b"`, func() float64 { return 0 })
+	})
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: want panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestLabelValue(t *testing.T) {
+	got := LabelValue("a\\b\"c\nd")
+	want := `a\\b\"c\nd`
+	if got != want {
+		t.Fatalf("LabelValue = %q, want %q", got, want)
+	}
+}
+
+func TestTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 32 || len(b) != 32 {
+		t.Fatalf("trace IDs %q/%q: want 32 hex chars", a, b)
+	}
+	if a == b {
+		t.Fatalf("two trace IDs collided: %q", a)
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{32}$`).MatchString(a) {
+		t.Fatalf("trace ID %q not lowercase hex", a)
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	ctx := context.Background()
+	if got := TraceFrom(ctx); got != "" {
+		t.Fatalf("TraceFrom(bare ctx) = %q, want empty", got)
+	}
+	ctx = WithTrace(ctx, "abc123")
+	if got := TraceFrom(ctx); got != "abc123" {
+		t.Fatalf("TraceFrom = %q, want abc123", got)
+	}
+	// Values must survive the wrappers the gateway applies to outbound
+	// contexts: WithTimeout (per-attempt deadline) and Detach
+	// (singleflight detach).
+	tctx, cancel := context.WithTimeout(Detach(ctx), time.Minute)
+	defer cancel()
+	if got := TraceFrom(tctx); got != "abc123" {
+		t.Fatalf("TraceFrom after Detach+WithTimeout = %q, want abc123", got)
+	}
+}
+
+func TestDetach(t *testing.T) {
+	parent, cancel := context.WithCancel(WithTrace(context.Background(), "tid"))
+	d := Detach(parent)
+	cancel()
+	if d.Err() != nil || d.Done() != nil {
+		t.Fatal("detached context inherited cancelation")
+	}
+	if _, ok := d.Deadline(); ok {
+		t.Fatal("detached context inherited a deadline")
+	}
+	if got := TraceFrom(d); got != "tid" {
+		t.Fatalf("detached context lost values: %q", got)
+	}
+	// The whole point of Detach over context.WithoutCancel: value
+	// lookups through it must not allocate.
+	n := testing.AllocsPerRun(100, func() {
+		if TraceFrom(d) != "tid" {
+			t.Fatal("lookup failed")
+		}
+	})
+	if n != 0 {
+		t.Fatalf("TraceFrom through Detach allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestSpan(t *testing.T) {
+	s := NewSpan("id1")
+	s.Add("parse", 2*time.Millisecond)
+	s.Add("merge", 3*time.Millisecond)
+	s.Add("merge", 5*time.Millisecond)
+	if got := s.Sum(); got != 10*time.Millisecond {
+		t.Fatalf("Sum = %v, want 10ms", got)
+	}
+	m := s.StagesMS()
+	if m["parse"] != 2 || m["merge"] != 8 {
+		t.Fatalf("StagesMS = %v, want parse:2 merge:8", m)
+	}
+	// Overflow past the fixed cap drops silently instead of growing.
+	for i := 0; i < 2*maxSpanStages; i++ {
+		s.Add("x", time.Millisecond)
+	}
+	if s.n != maxSpanStages {
+		t.Fatalf("span grew past cap: n=%d", s.n)
+	}
+	s.Release()
+	s2 := NewSpan("id2")
+	if s2.n != 0 || s2.Trace != "id2" {
+		t.Fatalf("pooled span not reset: n=%d trace=%q", s2.n, s2.Trace)
+	}
+	s2.Release()
+}
+
+func TestSlowLog(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLog(10*time.Millisecond, &buf)
+	if !l.Enabled() {
+		t.Fatal("log with threshold should be enabled")
+	}
+
+	s := NewSpan("trace-xyz")
+	s.Add("parse", 4*time.Millisecond)
+	s.Add("answer", 14*time.Millisecond)
+
+	l.Maybe(SlowEntry{Tier: "daemon", Path: "/query", Status: 200}, s, 5*time.Millisecond)
+	if buf.Len() != 0 {
+		t.Fatalf("fast request logged: %s", buf.String())
+	}
+
+	l.Maybe(SlowEntry{Tier: "daemon", Path: "/query", Status: 200, Epoch: 7}, s, 20*time.Millisecond)
+	line := buf.String()
+	if !strings.HasSuffix(line, "\n") {
+		t.Fatalf("slow line not newline-terminated: %q", line)
+	}
+	var e SlowEntry
+	if err := json.Unmarshal([]byte(line), &e); err != nil {
+		t.Fatalf("slow line is not valid JSON: %v\n%s", err, line)
+	}
+	if e.Trace != "trace-xyz" || e.Tier != "daemon" || e.Path != "/query" || e.Status != 200 || e.Epoch != 7 {
+		t.Fatalf("slow line fields wrong: %+v", e)
+	}
+	if e.TotalMS != 20 {
+		t.Fatalf("total_ms = %g, want 20", e.TotalMS)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, e.TS); err != nil {
+		t.Fatalf("ts %q not RFC3339Nano: %v", e.TS, err)
+	}
+	var stageSum float64
+	for _, ms := range e.Stages {
+		stageSum += ms
+	}
+	if stageSum != 18 {
+		t.Fatalf("stage sum = %g, want 18 (4+14)", stageSum)
+	}
+	s.Release()
+
+	var nilLog *SlowLog
+	if nilLog.Enabled() {
+		t.Fatal("nil log must be disabled")
+	}
+	zero := NewSlowLog(0, &buf)
+	if zero.Enabled() {
+		t.Fatal("zero-threshold log must be disabled")
+	}
+}
+
+func TestObserveNilSafe(t *testing.T) {
+	Observe(nil, nil, "noop", time.Millisecond) // must not panic
+	var h Histogram
+	s := NewSpan("")
+	Observe(&h, s, "stage", 2*time.Millisecond)
+	if h.Count() != 1 || s.n != 1 {
+		t.Fatalf("Observe did not record: hist=%d span=%d", h.Count(), s.n)
+	}
+	s.Release()
+}
+
+func TestBuildInfo(t *testing.T) {
+	v, c := BuildInfo()
+	if v == "" || c == "" {
+		t.Fatalf("BuildInfo = %q/%q, want non-empty fallbacks", v, c)
+	}
+	r := NewRegistry()
+	RegisterBuildInfo(r, "daemon")
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `sketch_build_info{tier="daemon"`) {
+		t.Fatalf("build info gauge missing:\n%s", buf.String())
+	}
+}
+
+func TestPprofHandler(t *testing.T) {
+	rec := httptest.NewRecorder()
+	PprofHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Fatalf("pprof index: status %d", rec.Code)
+	}
+}
