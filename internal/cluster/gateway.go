@@ -535,6 +535,8 @@ type StatsResponse struct {
 // > 1, idling the rest. Mixing decorrelates the two reductions while
 // still sending every point of one routing cell — hence one
 // near-duplicate group, with high probability — to one peer.
+//
+//sketch:hotpath
 func (g *Gateway) peerIndex(p geom.Point) int {
 	return int(hash.Mix64(g.cfg.Router.Route(p)) % uint64(len(g.peers)))
 }
@@ -550,8 +552,12 @@ const forwardChunkBytes = 32 << 20
 // body per peer per request, each up to forwardChunkBytes.
 var forwardBufPool = sync.Pool{New: func() any { b := []byte(nil); return &b }}
 
+// getForwardBuf takes a cleared forward-body buffer from the pool.
+//
+//sketch:hotpath
 func getForwardBuf() []byte { return (*forwardBufPool.Get().(*[]byte))[:0] }
 
+// putForwardBuf returns a forward-body buffer to the pool.
 func putForwardBuf(b []byte) {
 	b = b[:0]
 	forwardBufPool.Put(&b)
@@ -815,6 +821,8 @@ func (s *peerSnap) validator() string {
 // servedPartial counts a degraded answer that actually went out the door
 // (the handlers call it after their last failure point, so refused or
 // errored queries never inflate the partial_queries stat).
+//
+//sketch:hotpath
 func (g *Gateway) servedPartial(fo fanout) {
 	if fo.partial() {
 		g.partialQueries.Add(1)

@@ -40,6 +40,8 @@ type peer struct {
 // peer stays "down" until a successful half-open probe actually closes
 // the breaker, so an idle gateway over a dead fleet never drifts back to
 // healthy just because the cooldown elapsed. Request paths use admit.
+//
+//sketch:hotpath
 func (p *peer) up() bool {
 	return p.downUntil.Load() == 0
 }
@@ -50,6 +52,8 @@ func (p *peer) up() bool {
 // concurrent callers keep skipping a still-dead peer instead of all
 // stalling on their own probe's full retry schedule. A successful probe
 // closes the breaker (recordSuccess); a failed one leaves it armed.
+//
+//sketch:hotpath
 func (p *peer) admit(now time.Time, cooldown time.Duration) bool {
 	du := p.downUntil.Load()
 	if du == 0 {
@@ -62,6 +66,8 @@ func (p *peer) admit(now time.Time, cooldown time.Duration) bool {
 }
 
 // recordSuccess closes the circuit breaker.
+//
+//sketch:hotpath
 func (p *peer) recordSuccess() {
 	p.consec.Store(0)
 	p.downUntil.Store(0)

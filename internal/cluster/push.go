@@ -55,6 +55,8 @@ const watcherRetryCeiling = 2 * time.Second
 
 // markDirty records one invalidation event — a peer's epoch moved (or
 // its watcher cannot rule that out) — and wakes the refresher.
+//
+//sketch:hotpath
 func (g *Gateway) markDirty() {
 	g.dirtyGen.Add(1)
 	select {
@@ -65,6 +67,8 @@ func (g *Gateway) markDirty() {
 
 // dirtyFold reports whether some invalidation has not yet been covered
 // by an installed scatter round.
+//
+//sketch:hotpath
 func (g *Gateway) dirtyFold() bool {
 	return g.dirtyGen.Load() > g.lastRoundGen.Load()
 }
@@ -72,6 +76,8 @@ func (g *Gateway) dirtyFold() bool {
 // watchersHealthy reports whether every peer's watcher (or polling
 // fallback) is currently delivering invalidations — the condition under
 // which a clean cache is known fresh up to push latency.
+//
+//sketch:hotpath
 func (g *Gateway) watchersHealthy() bool {
 	for _, p := range g.peers {
 		if !p.watchOK.Load() {
@@ -86,6 +92,8 @@ func (g *Gateway) watchersHealthy() bool {
 // been pushed already), and the age of the last good fold otherwise —
 // a conservative overestimate, since the fold was fresh until the first
 // unseen ingest, not until the round that built it.
+//
+//sketch:hotpath
 func (g *Gateway) foldStaleness(now time.Time) time.Duration {
 	if !g.dirtyFold() && g.watchersHealthy() {
 		return 0
@@ -129,6 +137,8 @@ func (g *Gateway) ensureFreshPush(w http.ResponseWriter, ctx context.Context, sp
 
 // haveFold reports whether a scatter round has ever installed a fold to
 // serve from.
+//
+//sketch:hotpath
 func (g *Gateway) haveFold() bool {
 	g.cacheMu.Lock()
 	defer g.cacheMu.Unlock()
@@ -137,6 +147,8 @@ func (g *Gateway) haveFold() bool {
 
 // noteStaleness tracks the maximum staleness ever served (the
 // max_staleness_ms stat).
+//
+//sketch:hotpath
 func (g *Gateway) noteStaleness(age time.Duration) {
 	ns := int64(age)
 	for {

@@ -221,7 +221,12 @@ func (e *Engine) worker(sh *shard) {
 	}
 }
 
-func (e *Engine) getBuf() []geom.Point  { return (*e.bufPool.Get().(*[]geom.Point))[:0] }
+// getBuf takes a cleared point buffer from the pool.
+//
+//sketch:hotpath
+func (e *Engine) getBuf() []geom.Point { return (*e.bufPool.Get().(*[]geom.Point))[:0] }
+
+// putBuf returns a point buffer to the pool.
 func (e *Engine) putBuf(b []geom.Point) { b = b[:0]; e.bufPool.Put(&b) }
 
 // batchBuckets is the pooled per-shard routing scratch: one pending
@@ -244,6 +249,9 @@ func (e *Engine) putBuckets(b *batchBuckets) {
 	e.bucketPool.Put(b)
 }
 
+// shardOf routes one point to its worker shard.
+//
+//sketch:hotpath
 func (e *Engine) shardOf(p geom.Point) *shard {
 	return e.shards[e.cfg.Router.Route(p)%uint64(len(e.shards))]
 }
@@ -254,8 +262,11 @@ func (e *Engine) shardOf(p geom.Point) *shard {
 // batch. On a time-windowed engine the point arrives at the engine's
 // latest known timestamp (see ProcessStampedBatch) and ships
 // immediately. Process must not be called after Close.
+//
+//sketch:hotpath
 func (e *Engine) Process(p geom.Point) {
 	if e.stamped {
+		//sketch:ignore single stamped points ship as a one-element batch by design; batch callers use ProcessStampedBatch
 		e.ProcessStampedBatch([]geom.Point{p}, []int64{e.lastStamp.Load()})
 		return
 	}
@@ -288,6 +299,8 @@ func (e *Engine) Process(p geom.Point) {
 // The broadcast is a single swap-and-close: with no waiters parked the
 // swap sees nil and ingest pays one atomic load, so the hot path stays
 // lock-free.
+//
+//sketch:hotpath
 func (e *Engine) bumpEpoch() {
 	e.epoch.Add(1)
 	if ch := e.watchCh.Swap(nil); ch != nil {
@@ -298,6 +311,8 @@ func (e *Engine) bumpEpoch() {
 // Epoch returns the current ingest epoch — the monotone counter behind
 // the snapshot cache and the HTTP tier's cache validators (see
 // WithSnapshotEpoch for the stamping rules).
+//
+//sketch:hotpath
 func (e *Engine) Epoch() int64 { return e.epoch.Load() }
 
 // WaitEpoch blocks until the ingest epoch exceeds after, or ctx is done,
@@ -343,6 +358,8 @@ func (e *Engine) WaitEpoch(ctx context.Context, after int64) int64 {
 // must not be mutated afterwards (Clone first), and with the engine that
 // holds from the moment ProcessBatch is called — workers read the
 // points asynchronously.
+//
+//sketch:hotpath
 func (e *Engine) ProcessBatch(ps []geom.Point) {
 	if len(ps) == 0 {
 		return
@@ -353,6 +370,7 @@ func (e *Engine) ProcessBatch(ps []geom.Point) {
 		// receiving shards' local clocks instead would backdate points on
 		// shards that have not seen recent traffic and silently expire them
 		// at snapshot-merge time.
+		//sketch:ignore unstamped ingest into a windowed engine synthesizes stamps once per batch
 		stamps := make([]int64, len(ps))
 		now := e.lastStamp.Load()
 		for i := range stamps {
@@ -401,6 +419,8 @@ func (e *Engine) ProcessBatch(ps []geom.Point) {
 // sequential window sampler. Panics when the configured sketches do not
 // implement sketch.Stamped (build the engine with NewWindowSamplerEngine
 // or NewWindowF0Engine over a time-based window).
+//
+//sketch:hotpath
 func (e *Engine) ProcessStampedBatch(ps []geom.Point, stamps []int64) {
 	if len(ps) == 0 {
 		return
@@ -462,6 +482,9 @@ func (e *Engine) ProcessAt(p geom.Point, stamp int64) {
 	e.ProcessStampedBatch([]geom.Point{p}, []int64{stamp})
 }
 
+// flushShard ships a shard's pending single-point buffer to its worker.
+//
+//sketch:hotpath
 func (e *Engine) flushShard(sh *shard) {
 	sh.pendMu.Lock()
 	pend := sh.pend
@@ -590,6 +613,8 @@ func (e *Engine) Query() (sketch.Result, error) {
 
 // Enqueued returns the number of points handed to the engine so far —
 // the lock-free subset of Stats for hot paths.
+//
+//sketch:hotpath
 func (e *Engine) Enqueued() int64 { return e.enqueued.Load() }
 
 // Shards returns the number of worker shards.
@@ -597,6 +622,8 @@ func (e *Engine) Shards() int { return len(e.shards) }
 
 // Processed returns the number of points fully folded into shard
 // sketches — the lock-free subset of Stats for metric scrapes.
+//
+//sketch:hotpath
 func (e *Engine) Processed() int64 {
 	var n int64
 	for _, sh := range e.shards {
@@ -606,6 +633,8 @@ func (e *Engine) Processed() int64 {
 }
 
 // ShardProcessed returns shard i's processed-point count, lock-free.
+//
+//sketch:hotpath
 func (e *Engine) ShardProcessed(i int) int64 { return e.shards[i].done.Load() }
 
 // SpaceWords returns the live sketch words summed over shards, briefly

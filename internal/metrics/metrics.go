@@ -31,9 +31,13 @@ func (c *Counts) Observe(g int) {
 	c.total++
 }
 
-// N returns the number of groups; Total the number of observations.
-func (c *Counts) N() int            { return len(c.counts) }
-func (c *Counts) Total() int64      { return c.total }
+// N returns the number of groups.
+func (c *Counts) N() int { return len(c.counts) }
+
+// Total returns the number of observations across all groups.
+func (c *Counts) Total() int64 { return c.total }
+
+// Count returns the number of observations recorded for group g.
 func (c *Counts) Count(g int) int64 { return c.counts[g] }
 
 // Frequencies returns the empirical sampling probability of each group.

@@ -428,6 +428,8 @@ func (s *Server) etag(epoch int64) string {
 // MatchETag reports whether the request's If-None-Match header matches
 // the resource's current strong ETag — the conditional-GET test shared
 // by the daemon's and the cluster gateway's handlers.
+//
+//sketch:hotpath
 func MatchETag(r *http.Request, etag string) bool {
 	h := r.Header.Get("If-None-Match")
 	if h == "" {

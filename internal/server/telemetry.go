@@ -127,6 +127,8 @@ func (s *Server) MetricsRegistry() *telemetry.Registry { return s.reg }
 // response, and opens a pooled span when the request is traced or the
 // slow-query log is armed. Returns nil when no per-stage timings are
 // needed — the common untraced case costs one header lookup.
+//
+//sketch:hotpath
 func (s *Server) beginTrace(w http.ResponseWriter, r *http.Request) *telemetry.Span {
 	trace := r.Header.Get(telemetry.TraceHeader)
 	if trace != "" {

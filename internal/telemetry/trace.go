@@ -37,6 +37,8 @@ func WithTrace(ctx context.Context, id string) context.Context {
 }
 
 // TraceFrom returns the trace ID attached by WithTrace, or "".
+//
+//sketch:hotpath
 func TraceFrom(ctx context.Context) string {
 	id, _ := ctx.Value(traceKey{}).(string)
 	return id
@@ -52,12 +54,21 @@ type detachedCtx struct{ parent context.Context }
 
 // Detach returns ctx stripped of deadline and cancelation but keeping
 // its values (trace IDs included) readable without allocating.
-func Detach(ctx context.Context) context.Context { return &detachedCtx{ctx} }
+//
+//sketch:hotpath
+func Detach(ctx context.Context) context.Context {
+	//sketch:ignore one wrapper cell per refresh round, amortized over every lookup through it
+	return &detachedCtx{ctx}
+}
 
 func (*detachedCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
 func (*detachedCtx) Done() <-chan struct{}       { return nil }
 func (*detachedCtx) Err() error                  { return nil }
-func (d *detachedCtx) Value(key any) any         { return d.parent.Value(key) }
+
+// Value looks the key up in the parent without re-boxing the wrapper.
+//
+//sketch:hotpath
+func (d *detachedCtx) Value(key any) any { return d.parent.Value(key) }
 
 // maxSpanStages bounds a span's stage array; stages past the cap are
 // dropped rather than grown so spans stay pool-recyclable fixed-size
@@ -80,6 +91,8 @@ type Span struct {
 var spanPool = sync.Pool{New: func() any { return new(Span) }}
 
 // NewSpan returns a pooled span for one request.
+//
+//sketch:hotpath
 func NewSpan(trace string) *Span {
 	s := spanPool.Get().(*Span)
 	s.Trace = trace
@@ -89,11 +102,15 @@ func NewSpan(trace string) *Span {
 
 // Release returns the span to the pool. The caller must not touch it
 // afterwards.
+//
+//sketch:hotpath
 func (s *Span) Release() {
 	spanPool.Put(s)
 }
 
 // Add records one named stage duration.
+//
+//sketch:hotpath
 func (s *Span) Add(stage string, d time.Duration) {
 	if s.n < maxSpanStages {
 		s.names[s.n] = stage
@@ -125,6 +142,8 @@ func (s *Span) StagesMS() map[string]float64 {
 // of which may be nil (metrics disabled, request untraced). This is the
 // one instrumentation call handlers sprinkle on the hot path; with both
 // receivers nil it does nothing.
+//
+//sketch:hotpath
 func Observe(h *Histogram, s *Span, stage string, d time.Duration) {
 	if h != nil {
 		h.Record(d)
@@ -182,6 +201,8 @@ func NewSlowLog(threshold time.Duration, w io.Writer) *SlowLog {
 
 // Enabled reports whether any request could be logged; handlers use it
 // to decide whether an untraced request still needs a span.
+//
+//sketch:hotpath
 func (l *SlowLog) Enabled() bool {
 	return l != nil && l.threshold > 0
 }

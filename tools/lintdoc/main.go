@@ -1,7 +1,6 @@
 // Command lintdoc enforces the repository's godoc discipline: every
 // exported identifier in the given packages must carry a doc comment, so
-// that `go doc` output stays usable as API reference. CI runs it over the
-// public-facing packages; run it locally with:
+// that `go doc` output stays usable as API reference. Run it locally with:
 //
 //	go run ./tools/lintdoc ./pkg/sketch ./internal/engine ./internal/server
 //
@@ -12,20 +11,26 @@
 // With -gofmt, every scanned file (including _test.go files, which the
 // doc check skips) must also be gofmt-clean; unformatted files are
 // findings like undocumented identifiers.
+//
+// lintdoc is a thin wrapper kept for its exit-code contract and
+// non-recursive directory interface: the doc-comment and gofmt checks
+// themselves live in repro/tools/sketchvet/vet, where the sketchvet
+// driver runs them module-wide alongside the deeper analyzers (see
+// docs/static-analysis.md). CI runs sketchvet; the two tools cannot
+// drift because they share the implementation.
 package main
 
 import (
-	"bytes"
 	"flag"
 	"fmt"
-	"go/ast"
-	"go/format"
 	"go/parser"
 	"go/token"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
+
+	"repro/tools/sketchvet/vet"
 )
 
 func main() {
@@ -89,11 +94,11 @@ func lintFormat(dir string) ([]string, error) {
 		if err != nil {
 			return nil, err
 		}
-		formatted, err := format.Source(src)
+		dirty, err := vet.Unformatted(src)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", path, err)
 		}
-		if !bytes.Equal(src, formatted) {
+		if dirty {
 			findings = append(findings, filepath.ToSlash(path)+": not gofmt-clean")
 		}
 	}
@@ -111,92 +116,12 @@ func lintDir(dir string) ([]string, error) {
 		return nil, err
 	}
 	var missing []string
-	report := func(pos token.Pos, name string) {
-		p := fset.Position(pos)
-		missing = append(missing, fmt.Sprintf("%s:%d: %s", filepath.ToSlash(p.Filename), p.Line, name))
-	}
 	for _, pkg := range pkgs {
 		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				switch d := decl.(type) {
-				case *ast.FuncDecl:
-					if !d.Name.IsExported() || !exportedReceiver(d) {
-						continue
-					}
-					if d.Doc == nil {
-						report(d.Pos(), funcName(d))
-					}
-				case *ast.GenDecl:
-					lintGenDecl(d, report)
-				}
+			for _, issue := range vet.DocIssues(fset, file) {
+				missing = append(missing, fmt.Sprintf("%s:%d: %s", issue.Pos.Filename, issue.Pos.Line, issue.Name))
 			}
 		}
 	}
 	return missing, nil
-}
-
-// lintGenDecl checks const/var/type declarations: a doc comment on the
-// grouped declaration covers all of its specs, matching godoc rendering.
-func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string)) {
-	if d.Tok == token.IMPORT {
-		return
-	}
-	for _, spec := range d.Specs {
-		switch s := spec.(type) {
-		case *ast.TypeSpec:
-			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
-				report(s.Pos(), "type "+s.Name.Name)
-			}
-		case *ast.ValueSpec:
-			for _, name := range s.Names {
-				if name.Name == "_" || !name.IsExported() {
-					continue
-				}
-				if d.Doc == nil && s.Doc == nil && s.Comment == nil {
-					report(name.Pos(), d.Tok.String()+" "+name.Name)
-				}
-			}
-		}
-	}
-}
-
-// exportedReceiver reports whether f is a plain function or a method on an
-// exported type (methods on unexported types are not API surface).
-func exportedReceiver(f *ast.FuncDecl) bool {
-	if f.Recv == nil || len(f.Recv.List) == 0 {
-		return true
-	}
-	t := f.Recv.List[0].Type
-	for {
-		switch tt := t.(type) {
-		case *ast.StarExpr:
-			t = tt.X
-		case *ast.IndexExpr: // generic receiver
-			t = tt.X
-		case *ast.Ident:
-			return tt.IsExported()
-		default:
-			return true
-		}
-	}
-}
-
-// funcName renders "Name" or "(*Recv).Name" for reporting.
-func funcName(f *ast.FuncDecl) string {
-	if f.Recv == nil || len(f.Recv.List) == 0 {
-		return "func " + f.Name.Name
-	}
-	var b strings.Builder
-	b.WriteString("method (")
-	t := f.Recv.List[0].Type
-	if st, ok := t.(*ast.StarExpr); ok {
-		b.WriteString("*")
-		t = st.X
-	}
-	if id, ok := t.(*ast.Ident); ok {
-		b.WriteString(id.Name)
-	}
-	b.WriteString(").")
-	b.WriteString(f.Name.Name)
-	return b.String()
 }

@@ -1,0 +1,26 @@
+// Package bad mixes atomic and plain access to the same field.
+package bad
+
+import "sync/atomic"
+
+// Counter mixes access modes on hits.
+type Counter struct {
+	hits int64
+}
+
+// NewCounter builds a Counter; plain access here is allowed.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.hits = 0
+	return c
+}
+
+// Inc adds atomically.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Peek reads the field without atomics — the race atomicmix exists for.
+func (c *Counter) Peek() int64 {
+	return c.hits
+}

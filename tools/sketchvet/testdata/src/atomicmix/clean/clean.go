@@ -1,0 +1,22 @@
+// Package clean accesses its atomic field atomically everywhere.
+package clean
+
+import "sync/atomic"
+
+// Counter is accessed atomically outside its constructor.
+type Counter struct {
+	hits int64
+}
+
+// NewCounter builds a Counter.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.hits = 0
+	return c
+}
+
+// Inc adds atomically.
+func (c *Counter) Inc() { atomic.AddInt64(&c.hits, 1) }
+
+// Peek reads atomically.
+func (c *Counter) Peek() int64 { return atomic.LoadInt64(&c.hits) }

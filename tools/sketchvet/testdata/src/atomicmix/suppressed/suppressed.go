@@ -1,0 +1,20 @@
+// Package suppressed documents an intentional mixed access.
+package suppressed
+
+import "sync/atomic"
+
+// Counter mixes access modes on hits, with a documented reason.
+type Counter struct {
+	hits int64
+}
+
+// Inc adds atomically.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// DrainLocked reads the field plainly; callers hold the owning lock.
+func (c *Counter) DrainLocked() int64 {
+	//sketch:ignore read under the owner's lock after writers have stopped
+	return c.hits
+}

@@ -1,0 +1,14 @@
+// Package bad severs context and trace propagation.
+package bad
+
+import (
+	"context"
+	"net/http"
+)
+
+// Fetch has ctx in scope but roots a fresh one and drops it from the
+// outbound request.
+func Fetch(ctx context.Context, url string) (*http.Request, error) {
+	_ = context.Background()
+	return http.NewRequest(http.MethodGet, url, nil)
+}

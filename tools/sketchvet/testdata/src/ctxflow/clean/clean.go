@@ -1,0 +1,15 @@
+// Package clean propagates contexts properly.
+package clean
+
+import (
+	"context"
+	"net/http"
+)
+
+// Fetch derives from the caller's ctx.
+func Fetch(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+}
+
+// Root has no ctx parameter, so minting a root here is fine.
+func Root() context.Context { return context.Background() }

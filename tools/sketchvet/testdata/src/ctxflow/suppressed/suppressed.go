@@ -1,0 +1,10 @@
+// Package suppressed documents an intentional context root.
+package suppressed
+
+import "context"
+
+// Detach intentionally drops the caller's cancelation.
+func Detach(ctx context.Context) context.Context {
+	//sketch:ignore background revalidation must outlive the triggering request
+	return context.Background()
+}

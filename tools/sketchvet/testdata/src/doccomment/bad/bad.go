@@ -1,0 +1,16 @@
+// Package bad omits doc comments on exported identifiers.
+package bad
+
+// Limit is documented.
+const Limit = 8
+
+const Undocumented = 9
+
+type Widget struct{}
+
+// Spin is documented.
+func (Widget) Spin() {}
+
+func (Widget) Stop() {}
+
+func Loose() {}

@@ -1,0 +1,11 @@
+// Package clean documents everything exported.
+package clean
+
+// Limit bounds the widget count.
+const Limit = 8
+
+// Widget is a documented type.
+type Widget struct{}
+
+// Spin spins the widget.
+func (Widget) Spin() {}

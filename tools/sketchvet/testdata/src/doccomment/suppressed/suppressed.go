@@ -1,0 +1,5 @@
+// Package suppressed documents why one identifier carries no doc.
+package suppressed
+
+//sketch:ignore mirrors a wire constant whose name is the documentation
+const XSketchTrace = "X-Sketch-Trace"

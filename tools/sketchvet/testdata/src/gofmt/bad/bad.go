@@ -1,0 +1,4 @@
+// Package bad is not gofmt-clean.
+package bad
+
+func f(  ) int {   return 1}

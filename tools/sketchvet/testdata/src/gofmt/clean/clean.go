@@ -1,0 +1,4 @@
+// Package clean is gofmt-clean.
+package clean
+
+func f() int { return 1 }

@@ -1,0 +1,5 @@
+//sketch:ignore kept byte-identical to the generator output
+// Package suppressed is deliberately unformatted but documented.
+package suppressed
+
+func f(  ) {   }

@@ -1,0 +1,20 @@
+// Package bad allocates on an annotated hot path.
+package bad
+
+import "fmt"
+
+// Observe is the annotated root.
+//
+//sketch:hotpath
+func Observe(name string, v int) string {
+	out := describe(name, v)
+	var parts []string
+	parts = append(parts, out)
+	f := func() string { return out }
+	return f()
+}
+
+// describe is hot transitively, via Observe.
+func describe(name string, v int) string {
+	return fmt.Sprintf("%s=%d", name, v)
+}

@@ -1,0 +1,16 @@
+// Package clean keeps its hot path allocation-free.
+package clean
+
+// Sum is annotated and pure arithmetic.
+//
+//sketch:hotpath
+func Sum(xs []int64) int64 {
+	var t int64
+	for _, x := range xs {
+		t += add(t, x)
+	}
+	return t
+}
+
+// add is hot transitively and clean.
+func add(a, b int64) int64 { return a + b }

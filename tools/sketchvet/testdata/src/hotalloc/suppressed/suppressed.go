@@ -1,0 +1,10 @@
+// Package suppressed documents an intentional hot-path allocation.
+package suppressed
+
+// Grow is annotated but its one allocation is documented.
+//
+//sketch:hotpath
+func Grow(n int) []int64 {
+	//sketch:ignore one slab per resize, amortized across the ring's lifetime
+	return make([]int64, n)
+}

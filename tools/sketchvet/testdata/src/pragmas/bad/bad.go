@@ -1,0 +1,10 @@
+// Package bad misuses the sketchvet pragmas.
+package bad
+
+// Work carries a reason-less suppression and a misplaced hotpath pragma.
+func Work() int {
+	//sketch:ignore
+	x := 1
+	//sketch:hotpath
+	return x
+}

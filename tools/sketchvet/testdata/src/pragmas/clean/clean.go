@@ -1,0 +1,9 @@
+// Package clean uses the pragmas correctly.
+package clean
+
+// Work is annotated correctly.
+//
+//sketch:hotpath
+func Work() int {
+	return 1
+}

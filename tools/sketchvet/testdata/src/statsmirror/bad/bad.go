@@ -1,0 +1,22 @@
+// Package bad exposes a /stats field with no mirrored metric family.
+package bad
+
+import "repro/internal/telemetry"
+
+// StatsResponse is the /stats surface.
+type StatsResponse struct {
+	// Queries counts queries served.
+	Queries int64 `json:"queries"`
+	// LostRequests has no mirrored metric family.
+	LostRequests int64 `json:"lost_requests"`
+	// Version is identity, not a counter; exempt from the mirror.
+	Version string `json:"version"`
+}
+
+// Register builds the tier's metric registry.
+func Register(r *telemetry.Registry, queries func() float64) {
+	counter := func(name, help string, fn func() float64) {
+		r.CounterFunc("sketch_fixture_"+name, help, "", fn)
+	}
+	counter("queries_total", "Queries served.", queries)
+}

@@ -1,0 +1,25 @@
+// Package clean mirrors every /stats counter as a metric family.
+package clean
+
+import "repro/internal/telemetry"
+
+// StatsResponse is the /stats surface.
+type StatsResponse struct {
+	// Queries counts queries served.
+	Queries int64 `json:"queries"`
+	// UptimeSeconds is the time since start.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// Register builds the tier's metric registry.
+func Register(r *telemetry.Registry, queries, uptime func() float64) {
+	counter := func(name, help string, fn func() float64) {
+		r.CounterFunc("sketch_fixture_"+name, help, "", fn)
+	}
+	gauge := func(name, help string, fn func() float64) {
+		r.GaugeFunc("sketch_fixture_"+name, help, "", fn)
+	}
+	counter("queries_total", "Queries served.", queries)
+	gauge("uptime_seconds", "Seconds since start.", uptime)
+	telemetry.RegisterBuildInfo(r, "fixture")
+}

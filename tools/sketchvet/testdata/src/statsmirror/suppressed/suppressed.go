@@ -1,0 +1,21 @@
+// Package suppressed documents a deliberately unmirrored /stats field.
+package suppressed
+
+import "repro/internal/telemetry"
+
+// StatsResponse is the /stats surface.
+type StatsResponse struct {
+	// Queries counts queries served.
+	Queries int64 `json:"queries"`
+	// DebugSeq is a debugging aid, not a metric.
+	//sketch:ignore request-scoped debug sequence number, meaningless as a time series
+	DebugSeq int64 `json:"debug_seq"`
+}
+
+// Register builds the tier's metric registry.
+func Register(r *telemetry.Registry, queries func() float64) {
+	counter := func(name, help string, fn func() float64) {
+		r.CounterFunc("sketch_fixture_"+name, help, "", fn)
+	}
+	counter("queries_total", "Queries served.", queries)
+}

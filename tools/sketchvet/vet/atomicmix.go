@@ -1,0 +1,153 @@
+package vet
+
+// atomicmix: a struct field that is accessed through sync/atomic
+// anywhere must be accessed atomically everywhere outside the struct's
+// constructors. Mixing atomic and plain access is a data race that the
+// race detector only reports when a test happens to interleave the two;
+// this analyzer finds the mix statically. Fields of the atomic.* value
+// types (atomic.Int64 etc.) are safe by construction — the type system
+// already forbids plain access — so the analyzer concerns itself with
+// bare fields passed to the sync/atomic functions (&s.field).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// fieldKey identifies one struct field across a package.
+type fieldKey struct {
+	obj *types.Var
+}
+
+// AtomicMix returns the atomicmix analyzer.
+func AtomicMix() *Analyzer {
+	return &Analyzer{
+		Name:      "atomicmix",
+		Doc:       "fields accessed via sync/atomic must be accessed atomically everywhere",
+		NeedTypes: true,
+		Run:       runAtomicMix,
+	}
+}
+
+func runAtomicMix(_ *Context, pkg *Package) []Finding {
+	// Pass 1: every field object that appears as &x.f in a sync/atomic
+	// call argument, with one representative position for the message.
+	atomicFields := map[fieldKey]token.Pos{}
+	// atomicArgs tracks the SelectorExprs that ARE the atomic accesses,
+	// so pass 2 does not flag them.
+	atomicArgs := map[*ast.SelectorExpr]bool{}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isSyncAtomicCall(pkg, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fv := fieldVar(pkg, sel); fv != nil {
+					if _, seen := atomicFields[fieldKey{fv}]; !seen {
+						atomicFields[fieldKey{fv}] = sel.Pos()
+					}
+					atomicArgs[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: every other access to those fields outside a constructor
+	// is a finding.
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctor := isConstructor(pkg, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || atomicArgs[sel] {
+					return true
+				}
+				fv := fieldVar(pkg, sel)
+				if fv == nil {
+					return true
+				}
+				if _, isAtomic := atomicFields[fieldKey{fv}]; !isAtomic {
+					return true
+				}
+				if ctor {
+					return true
+				}
+				out = append(out, finding(pkg, "atomicmix", sel.Pos(),
+					"field %s is accessed with sync/atomic elsewhere; this plain access races with it (use atomic ops, or move the access into the constructor)",
+					fv.Name()))
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// isSyncAtomicCall reports whether call invokes a function from the
+// sync/atomic package (atomic.AddInt64, atomic.LoadPointer, ...).
+func isSyncAtomicCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pkg.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic" && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// fieldVar resolves a selector expression to the struct field it
+// selects, or nil when it is not a field selection.
+func fieldVar(pkg *Package, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// isConstructor reports whether fd builds the analyzed struct: a
+// function (not a method) returning a type from this package, or a
+// pointer to one. Plain access to atomic fields is allowed there — the
+// value has not been published yet.
+func isConstructor(pkg *Package, fd *ast.FuncDecl) bool {
+	if fd.Recv != nil || fd.Type.Results == nil {
+		return false
+	}
+	for _, res := range fd.Type.Results.List {
+		t := pkg.Info.TypeOf(res.Type)
+		if t == nil {
+			continue
+		}
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() == pkg.Types {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,87 @@
+package vet
+
+// ctxflow: context and trace propagation discipline. Inside library
+// code (non-main packages), a function that already receives a
+// context.Context must not manufacture a fresh root with
+// context.Background() or context.TODO() — doing so severs
+// cancellation and drops the X-Sketch-Trace value the gateway threads
+// through request contexts. Outbound requests must be built with
+// http.NewRequestWithContext for the same reason: a bare
+// http.NewRequest can never carry the caller's trace or deadline.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow returns the ctxflow analyzer.
+func CtxFlow() *Analyzer {
+	return &Analyzer{
+		Name:      "ctxflow",
+		Doc:       "no fresh context roots where a ctx is in scope; outbound requests must propagate context",
+		NeedTypes: true,
+		Run:       runCtxFlow,
+	}
+}
+
+func runCtxFlow(_ *Context, pkg *Package) []Finding {
+	if pkg.Types != nil && pkg.Types.Name() == "main" {
+		return nil // program entry points legitimately mint root contexts
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			hasCtx := hasContextParam(pkg, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				switch {
+				case fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO"):
+					if hasCtx {
+						out = append(out, finding(pkg, "ctxflow", call.Pos(),
+							"context.%s() discards the ctx parameter in scope — derive from it (or telemetry.Detach(ctx) to keep only the trace)", fn.Name()))
+					}
+				case fn.Pkg().Path() == "net/http" && fn.Name() == "NewRequest" && fn.Type().(*types.Signature).Recv() == nil:
+					out = append(out, finding(pkg, "ctxflow", call.Pos(),
+						"http.NewRequest builds a context-free request — use http.NewRequestWithContext so traces and deadlines propagate"))
+				}
+				return true
+			})
+			return false // fd.Body already walked; skip the outer traversal's copy
+		})
+	}
+	return out
+}
+
+// hasContextParam reports whether the function receives a
+// context.Context parameter.
+func hasContextParam(pkg *Package, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, f := range fd.Type.Params.List {
+		t := pkg.Info.TypeOf(f.Type)
+		if t == nil {
+			continue
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+			return true
+		}
+	}
+	return false
+}

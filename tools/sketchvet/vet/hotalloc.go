@@ -1,0 +1,390 @@
+package vet
+
+// hotalloc: functions annotated //sketch:hotpath — plus everything they
+// transitively call within the module — must not contain allocating
+// constructs. This is the static backstop behind the repo's
+// testing.AllocsPerRun==0 contracts: the benchmarks prove one execution
+// path is clean, the analyzer proves every branch is. Flagged
+// constructs: fmt.* calls, non-constant string concatenation, interface
+// boxing at call sites, map/slice composite literals, &T{}, make, new,
+// append to a nil-declared local, and variable-capturing closures.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// hotFunc is one function proven to be on a hot path, with how it got
+// there for diagnostics.
+type hotFunc struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+	via  string // "" for annotated roots, else the calling hot function
+}
+
+// hotIndex is the transitive closure of //sketch:hotpath annotations
+// over the module's static call graph, keyed by types.Func.FullName.
+// Packages are type-checked independently, so objects from different
+// packages never compare equal — FullName strings do.
+type hotIndex struct {
+	hot map[string]*hotFunc
+}
+
+// HotAlloc returns the hotalloc analyzer.
+func HotAlloc() *Analyzer {
+	return &Analyzer{
+		Name:      "hotalloc",
+		Doc:       "//sketch:hotpath functions and their module callees must not allocate",
+		NeedTypes: true,
+		Run: func(ctx *Context, pkg *Package) []Finding {
+			idx := ctx.hotIndex()
+			var out []Finding
+			for _, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					fn := funcObj(pkg, fd)
+					if fn == nil {
+						continue
+					}
+					hf := idx.hot[fn.FullName()]
+					if hf == nil {
+						continue
+					}
+					out = append(out, allocFindings(pkg, fd, hf)...)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// hotIndex lazily builds the module-wide hot-path closure.
+func (c *Context) hotIndex() *hotIndex {
+	if c.hot != nil {
+		return c.hot
+	}
+	idx := &hotIndex{hot: map[string]*hotFunc{}}
+	// Index every declared function in the loaded packages.
+	decls := map[string]*hotFunc{}
+	var work []string
+	for _, pkg := range c.Module.Packages {
+		if pkg.Types == nil || pkg.TypeErr != nil {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn := funcObj(pkg, fd)
+				if fn == nil {
+					continue
+				}
+				hf := &hotFunc{pkg: pkg, decl: fd}
+				decls[fn.FullName()] = hf
+				if funcHasPragma(fd, HotPathPragma) {
+					idx.hot[fn.FullName()] = hf
+					work = append(work, fn.FullName())
+				}
+			}
+		}
+	}
+	// Breadth-first closure over static calls within the module.
+	for len(work) > 0 {
+		name := work[0]
+		work = work[1:]
+		hf := idx.hot[name]
+		ast.Inspect(hf.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(hf.pkg, call)
+			if callee == nil {
+				return true
+			}
+			full := callee.FullName()
+			target, declared := decls[full]
+			if !declared {
+				return true // outside the loaded module, or no body here
+			}
+			if _, already := idx.hot[full]; already {
+				return true
+			}
+			target.via = shortFuncName(hf.decl)
+			idx.hot[full] = target
+			work = append(work, full)
+			return true
+		})
+	}
+	c.hot = idx
+	return idx
+}
+
+// funcObj resolves a function declaration to its types.Func.
+func funcObj(pkg *Package, fd *ast.FuncDecl) *types.Func {
+	fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	return fn
+}
+
+// calleeFunc resolves a call expression to the statically-known callee,
+// or nil for builtins, conversions, and dynamic calls.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// shortFuncName renders a declaration as Name or (Recv).Name.
+func shortFuncName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return "(" + id.Name + ")." + fd.Name.Name
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		if id, ok := idx.X.(*ast.Ident); ok {
+			return "(" + id.Name + ")." + fd.Name.Name
+		}
+	}
+	return fd.Name.Name
+}
+
+// hotOrigin explains why a function is subject to the zero-alloc rule.
+func hotOrigin(fd *ast.FuncDecl, hf *hotFunc) string {
+	name := shortFuncName(fd)
+	if hf.via == "" {
+		return fmt.Sprintf("%s is annotated //sketch:hotpath", name)
+	}
+	return fmt.Sprintf("%s is on a hot path via %s", name, hf.via)
+}
+
+// allocFindings reports every allocating construct in one hot function.
+func allocFindings(pkg *Package, fd *ast.FuncDecl, hf *hotFunc) []Finding {
+	origin := hotOrigin(fd, hf)
+	nilLocals := nilDeclaredLocals(pkg, fd)
+	var out []Finding
+	report := func(pos token.Pos, format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		out = append(out, finding(pkg, "hotalloc", pos, "%s (%s)", msg, origin))
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if capturesOuterLocals(pkg, n) {
+				report(n.Pos(), "closure captures variables and allocates")
+			}
+			return false // the literal itself is the allocation; its body runs elsewhere
+		case *ast.CompositeLit:
+			switch pkg.Info.TypeOf(n).Underlying().(type) {
+			case *types.Map:
+				report(n.Pos(), "map literal allocates")
+			case *types.Slice:
+				report(n.Pos(), "slice literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "&composite{} allocates")
+					return false
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(pkg, n) && !isConstExpr(pkg, n) {
+				report(n.Pos(), "string concatenation allocates")
+				return false // one finding per concat chain
+			}
+		case *ast.CallExpr:
+			return !checkHotCall(pkg, n, nilLocals, report)
+		}
+		return true
+	})
+	return out
+}
+
+// checkHotCall applies the call-site checks; it returns true when the
+// call was fully handled and children need no further inspection.
+func checkHotCall(pkg *Package, call *ast.CallExpr, nilLocals map[*types.Var]bool, report func(token.Pos, string, ...any)) bool {
+	// fmt.* is allocation by design (boxing + buffer growth).
+	if fn := calleeFunc(pkg, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		report(call.Pos(), "fmt.%s allocates", fn.Name())
+		return true
+	}
+	// Builtins: make/new always allocate; append to a nil-declared local
+	// cannot have been preallocated.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make allocates")
+			case "new":
+				report(call.Pos(), "new allocates")
+			case "append":
+				if len(call.Args) > 0 {
+					if target, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+						if v, ok := pkg.Info.Uses[target].(*types.Var); ok && nilLocals[v] {
+							report(call.Pos(), "append to nil-declared local %s allocates (preallocate with known capacity)", v.Name())
+						}
+					}
+				}
+			}
+			return false
+		}
+	}
+	// Interface boxing: a concrete non-pointer-shaped argument passed to
+	// an interface parameter is copied into a fresh heap cell.
+	sig := callSignature(pkg, call)
+	if sig == nil {
+		return false
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type()
+			} else {
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, ok := pt.Underlying().(*types.Interface); !ok {
+			continue
+		}
+		at := pkg.Info.TypeOf(arg)
+		if at == nil || boxingFree(at) {
+			continue
+		}
+		report(arg.Pos(), "argument boxes %s into interface %s and allocates", at, pt)
+	}
+	return false
+}
+
+// callSignature returns the signature of a genuine function call (not a
+// conversion, not a builtin).
+func callSignature(pkg *Package, call *ast.CallExpr) *types.Signature {
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// boxingFree reports whether storing a value of type t in an interface
+// avoids a heap allocation: pointer-shaped values fit in the interface
+// data word, interfaces are re-tagged, zero-size values share the
+// runtime's zero base, and untyped nil is free.
+func boxingFree(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UntypedNil || u.Kind() == types.UnsafePointer
+	case *types.Struct:
+		return u.NumFields() == 0
+	case *types.Array:
+		return u.Len() == 0
+	}
+	return false
+}
+
+// isStringExpr reports whether the expression has string type.
+func isStringExpr(pkg *Package, e ast.Expr) bool {
+	t := pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isConstExpr reports whether the expression folds to a constant.
+func isConstExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// nilDeclaredLocals collects the function's local slice variables
+// declared without an initializer (var buf []T) — appends to those have
+// provably not been preallocated.
+func nilDeclaredLocals(pkg *Package, fd *ast.FuncDecl) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		decl, ok := n.(*ast.DeclStmt)
+		if !ok {
+			return true
+		}
+		gd, ok := decl.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return true
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) > 0 {
+				continue
+			}
+			for _, name := range vs.Names {
+				v, ok := pkg.Info.Defs[name].(*types.Var)
+				if !ok {
+					continue
+				}
+				if _, isSlice := v.Type().Underlying().(*types.Slice); isSlice {
+					out[v] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// capturesOuterLocals reports whether the closure references a local
+// variable declared outside its own body — the capture forces the
+// variable (and the closure context) onto the heap.
+func capturesOuterLocals(pkg *Package, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured {
+			return !captured
+		}
+		v, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		scope := v.Parent()
+		if scope == nil || pkg.Types == nil || scope == pkg.Types.Scope() || scope == types.Universe {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}

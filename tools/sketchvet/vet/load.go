@@ -1,0 +1,256 @@
+package vet
+
+// Package loading: discovery, parsing, and whole-module type-checking
+// using only the standard library (go/parser + go/types with the
+// "source" importer), honoring the repository's zero-dependency rule —
+// no golang.org/x/tools. Each target package is parsed with comments
+// and type-checked against source-imported dependencies, so analyzers
+// see both syntax (pragmas, literals) and semantics (types, uses).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package plus everything the
+// analyzers need: ASTs with comments, type info, and the raw file list
+// (tests included) for the formatting gate.
+type Package struct {
+	// Dir is the package directory (absolute).
+	Dir string
+	// Rel is the module-relative directory ("internal/engine"), used in
+	// findings so output is stable across checkouts.
+	Rel string
+	// ImportPath is the package's import path within the module.
+	ImportPath string
+	// Fset is the file set shared by every loaded package.
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files, with comments.
+	Files []*ast.File
+	// Types is the type-checked package; nil when TypeErr is set.
+	Types *types.Package
+	// Info is the populated type info for Files.
+	Info *types.Info
+	// TypeErr records a type-checking failure; syntax-only analyzers
+	// still run on such packages.
+	TypeErr error
+	// AllGoFiles lists every .go file in Dir (tests included), absolute.
+	AllGoFiles []string
+}
+
+// Module is the whole loaded analysis target.
+type Module struct {
+	// Root is the module root (the directory holding go.mod); empty when
+	// loading bare directories outside a module.
+	Root string
+	// Path is the module path from go.mod ("repro").
+	Path string
+	// Fset is shared by all packages.
+	Fset *token.FileSet
+	// Packages are the loaded target packages, in stable order.
+	Packages []*Package
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (root, modpath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		gomod := filepath.Join(dir, "go.mod")
+		if data, err := os.ReadFile(gomod); err == nil {
+			return dir, parseModulePath(data), nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// parseModulePath extracts the module path from go.mod contents.
+func parseModulePath(data []byte) string {
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// expandPatterns turns CLI arguments into package directories: "./..."
+// (or "dir/...") walks recursively, anything else is taken as a single
+// directory. testdata, vendor, and dot-directories are always skipped.
+func expandPatterns(args []string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(d string) {
+		d = filepath.Clean(d)
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, arg := range args {
+		base, recursive := strings.CutSuffix(arg, "...")
+		base = filepath.Clean(strings.TrimSuffix(base, "/"))
+		if base == "" {
+			base = "."
+		}
+		if !recursive {
+			if !hasGoFiles(base) {
+				return nil, fmt.Errorf("no Go files in %s", base)
+			}
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one .go
+// file (tests count).
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Load parses and type-checks the packages matched by the given
+// patterns. Parse errors abort the load (exit code 2 territory);
+// type-check errors are recorded per package so that syntax-only
+// analyzers still run, while type-dependent analyzers skip the package.
+func Load(patterns []string) (*Module, error) {
+	dirs, err := expandPatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("no packages matched %v", patterns)
+	}
+	mod := &Module{Fset: token.NewFileSet()}
+	if root, path, err := findModuleRoot(dirs[0]); err == nil {
+		mod.Root, mod.Path = root, path
+	}
+	imp := importer.ForCompiler(mod.Fset, "source", nil)
+	sizes := types.SizesFor("gc", build.Default.GOARCH)
+	for _, dir := range dirs {
+		pkg, err := loadDir(mod, imp, sizes, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			mod.Packages = append(mod.Packages, pkg)
+		}
+	}
+	return mod, nil
+}
+
+// loadDir parses and type-checks one package directory. A directory
+// holding only _test.go files still loads (for the format gate) with an
+// empty AST list.
+func loadDir(mod *Module, imp types.Importer, sizes types.Sizes, dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	p := &Package{Dir: abs, Rel: dir, Fset: mod.Fset}
+	if mod.Root != "" {
+		if rel, err := filepath.Rel(mod.Root, abs); err == nil && !strings.HasPrefix(rel, "..") {
+			p.Rel = filepath.ToSlash(rel)
+			p.ImportPath = mod.Path
+			if rel != "." {
+				p.ImportPath = mod.Path + "/" + p.Rel
+			}
+		}
+	}
+	if p.ImportPath == "" {
+		p.ImportPath = filepath.ToSlash(dir)
+	}
+	var fileNames []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		// Keep paths as given on the command line so findings print
+		// checkout-relative positions.
+		path := filepath.Join(dir, e.Name())
+		p.AllGoFiles = append(p.AllGoFiles, path)
+		if !strings.HasSuffix(e.Name(), "_test.go") {
+			fileNames = append(fileNames, path)
+		}
+	}
+	if len(p.AllGoFiles) == 0 {
+		return nil, nil
+	}
+	for _, path := range fileNames {
+		f, err := parser.ParseFile(mod.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		p.Files = append(p.Files, f)
+	}
+	if len(p.Files) == 0 {
+		return p, nil // test-only directory: format gate only
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    sizes,
+		Error:    func(error) {}, // collect the first error via Check's return
+	}
+	tpkg, err := conf.Check(p.ImportPath, mod.Fset, p.Files, info)
+	p.Types, p.Info = tpkg, info
+	if err != nil {
+		p.TypeErr = err
+	}
+	return p, nil
+}

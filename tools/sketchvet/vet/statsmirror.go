@@ -1,0 +1,277 @@
+package vet
+
+// statsmirror: the /stats JSON surface and the /metrics exposition must
+// mirror each other, and every exported metric family must be listed in
+// docs/observability.md. The analyzer collects the metric family names
+// a package registers with telemetry.Registry — following the repo's
+// idiom of local wrapper closures that prepend a tier prefix
+// ("sketch_daemon_"+name) — and checks that every scalar numeric/bool
+// field of the package's StatsResponse struct resolves to a registered
+// family after normalization (tier prefix, _total, and unit suffixes
+// stripped). String fields, nested structs, maps, and slices are
+// exempt: they carry identity or detail tables, not counters.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// StatsMirror returns the statsmirror analyzer.
+func StatsMirror() *Analyzer {
+	return &Analyzer{
+		Name:      "statsmirror",
+		Doc:       "/stats JSON fields must mirror registered metric families; families must be documented",
+		NeedTypes: true,
+		Run:       runStatsMirror,
+	}
+}
+
+func runStatsMirror(ctx *Context, pkg *Package) []Finding {
+	metrics := collectMetricFamilies(pkg)
+	if len(metrics) == 0 {
+		return nil
+	}
+	var out []Finding
+	norm := map[string]bool{}
+	for name := range metrics {
+		norm[normalizeMetric(name)] = true
+	}
+	for _, field := range statsResponseFields(pkg) {
+		if !norm[normalizeJSONField(field.name)] {
+			out = append(out, finding(pkg, "statsmirror", field.pos,
+				"/stats field %q is not mirrored by any metric family registered in this package", field.name))
+		}
+	}
+	if ctx.ObsDoc != "" {
+		for name, pos := range metrics {
+			if !strings.Contains(ctx.ObsDoc, name) {
+				out = append(out, finding(pkg, "statsmirror", pos,
+					"metric family %q is not documented in %s", name, ctx.ObsDocPath))
+			}
+		}
+	}
+	return out
+}
+
+// jsonField is one scalar /stats field with its declared JSON name.
+type jsonField struct {
+	name string
+	pos  token.Pos
+}
+
+// statsResponseFields returns the scalar numeric/bool JSON fields of
+// the package's StatsResponse struct, if it declares one.
+func statsResponseFields(pkg *Package) []jsonField {
+	var out []jsonField
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != "StatsResponse" {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				if f.Tag == nil || len(f.Names) == 0 {
+					continue
+				}
+				tag := reflect.StructTag(strings.Trim(f.Tag.Value, "`")).Get("json")
+				name, _, _ := strings.Cut(tag, ",")
+				if name == "" || name == "-" {
+					continue
+				}
+				t := pkg.Info.TypeOf(f.Type)
+				if t == nil {
+					continue
+				}
+				b, ok := t.Underlying().(*types.Basic)
+				if !ok || b.Info()&(types.IsNumeric|types.IsBoolean) == 0 {
+					continue // strings and aggregates are identity/detail, not counters
+				}
+				out = append(out, jsonField{name: name, pos: f.Pos()})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// collectMetricFamilies gathers every metric family name the package
+// registers, with one representative registration position each. Names
+// are resolved from constant arguments, through the repo's one level of
+// prefix-prepending wrapper closures, and from RegisterBuildInfo.
+func collectMetricFamilies(pkg *Package) map[string]token.Pos {
+	out := map[string]token.Pos{}
+	wrappers := collectRegistryWrappers(pkg)
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if isRegisterBuildInfo(pkg, call) {
+				out["sketch_build_info"] = call.Pos()
+				return true
+			}
+			if isRegistryRegistration(pkg, call) {
+				if name, ok := constString(pkg, call.Args[0]); ok {
+					out[name] = call.Pos()
+				}
+				return true
+			}
+			// A call through a recorded wrapper closure: prefix + literal.
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+					if prefix, isWrapper := wrappers[v]; isWrapper {
+						if name, ok := constString(pkg, call.Args[0]); ok {
+							out[prefix+name] = call.Pos()
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// collectRegistryWrappers finds local closures of the form
+//
+//	counter := func(name, ...) { r.CounterFunc("sketch_daemon_"+name, ...) }
+//
+// and maps the closure variable to its constant prefix.
+func collectRegistryWrappers(pkg *Package) map[*types.Var]string {
+	wrappers := map[*types.Var]string{}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			lhs, ok := as.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			lit, ok := as.Rhs[0].(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			v, ok := pkg.Info.Defs[lhs].(*types.Var)
+			if !ok {
+				return true
+			}
+			if prefix, ok := wrapperPrefix(pkg, lit); ok {
+				wrappers[v] = prefix
+			}
+			return true
+		})
+	}
+	return wrappers
+}
+
+// wrapperPrefix inspects a closure body for a registration whose name
+// argument is "<const prefix>" + <closure parameter>.
+func wrapperPrefix(pkg *Package, lit *ast.FuncLit) (string, bool) {
+	params := map[types.Object]bool{}
+	for _, f := range lit.Type.Params.List {
+		for _, name := range f.Names {
+			params[pkg.Info.Defs[name]] = true
+		}
+	}
+	prefix, found := "", false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found || len(call.Args) == 0 || !isRegistryRegistration(pkg, call) {
+			return true
+		}
+		bin, ok := ast.Unparen(call.Args[0]).(*ast.BinaryExpr)
+		if !ok || bin.Op != token.ADD {
+			return true
+		}
+		p, ok := constString(pkg, bin.X)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(bin.Y).(*ast.Ident)
+		if !ok || !params[pkg.Info.Uses[id]] {
+			return true
+		}
+		prefix, found = p, true
+		return false
+	})
+	return prefix, found
+}
+
+// isRegistryRegistration reports whether the call registers a family on
+// telemetry.Registry (CounterFunc, GaugeFunc, or NewHistogram).
+func isRegistryRegistration(pkg *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || !isTelemetryPkg(fn.Pkg()) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "CounterFunc", "GaugeFunc", "NewHistogram":
+		return true
+	}
+	return false
+}
+
+// isRegisterBuildInfo reports a telemetry.RegisterBuildInfo call, which
+// registers the fixed sketch_build_info family.
+func isRegisterBuildInfo(pkg *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(pkg, call)
+	return fn != nil && fn.Name() == "RegisterBuildInfo" && isTelemetryPkg(fn.Pkg())
+}
+
+// isTelemetryPkg matches the module's telemetry package by path suffix,
+// so fixtures importing it through the module path also resolve.
+func isTelemetryPkg(p *types.Package) bool {
+	return p != nil && strings.HasSuffix(p.Path(), "internal/telemetry")
+}
+
+// constString resolves an expression to its constant string value.
+func constString(pkg *Package, e ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// normalizeMetric reduces a metric family name to its mirror key: the
+// sketch_<tier>_ prefix, the Prometheus _total suffix, and unit
+// suffixes are stripped.
+func normalizeMetric(name string) string {
+	if rest, ok := strings.CutPrefix(name, "sketch_"); ok {
+		if i := strings.Index(rest, "_"); i >= 0 {
+			name = rest[i+1:]
+		}
+	}
+	return stripUnits(strings.TrimSuffix(name, "_total"))
+}
+
+// normalizeJSONField reduces a /stats JSON field name to its mirror key.
+func normalizeJSONField(name string) string {
+	return stripUnits(strings.TrimSuffix(name, "_total"))
+}
+
+// stripUnits removes a trailing unit suffix, so max_staleness_ms (JSON)
+// matches max_staleness_seconds (metric).
+func stripUnits(name string) string {
+	for _, u := range []string{"_seconds", "_ms", "_us", "_ns"} {
+		if strings.HasSuffix(name, u) {
+			return strings.TrimSuffix(name, u)
+		}
+	}
+	return name
+}
