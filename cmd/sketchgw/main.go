@@ -16,6 +16,14 @@
 //	sketchgw -dim 2 -alpha 0.5 -peers http://a:7070,http://b:7070,http://c:7070
 //	sketchgw -dim 2 -alpha 0.5 -peers ... -partial fail -timeout 2s
 //	sketchgw -dim 2 -alpha 0.5 -peers ... -max-stale 500ms -watch-timeout 10s
+//	sketchgw -dim 2 -alpha 0.5 -peers ... -replicas 2
+//
+// -replicas R makes every routing cell owned by R peers: ingest fans each
+// sub-batch to all owners, queries answer complete (partial: false) while
+// fewer than R peers are down, sub-batches missed by a down replica are
+// queued for hinted handoff and replayed on recovery, and a rejoining
+// replica is read-repaired with the merged slice of the cells it owns
+// (see docs/cluster.md "Replication & quorum reads").
 //
 // Endpoints (full reference in docs/cluster.md):
 //
@@ -64,7 +72,9 @@ func main() {
 		alpha    = flag.Float64("alpha", 1, "distance threshold α — must match the peers")
 		dim      = flag.Int("dim", 0, "point dimension (required) — must match the peers")
 		seed     = flag.Uint64("seed", 1, "random seed — must match the peers")
-		partial  = flag.String("partial", "degrade", "partial-failure policy: degrade (answer from live peers, partial=true) or fail (502)")
+		replicas = flag.Int("replicas", 1, "peers owning each routing cell: ingest fans to all R owners, queries stay complete while <R peers are down")
+		handoff  = flag.Int("handoff-max", 256, "with -replicas >1, max hinted-handoff sub-batches queued per down replica before overflow drops")
+		partial  = flag.String("partial", "degrade", "partial-failure policy for quorum-partial folds: degrade (answer from live peers, partial=true) or fail (502)")
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-attempt timeout of each peer request")
 		retries  = flag.Int("retries", 2, "extra attempts per failed peer request")
 		backoff  = flag.Duration("backoff", 50*time.Millisecond, "base delay between retry attempts (linear)")
@@ -110,6 +120,8 @@ func main() {
 		Peers:          urls,
 		Router:         router,
 		Dim:            *dim,
+		Replicas:       *replicas,
+		HandoffMax:     *handoff,
 		Partial:        policy,
 		RequestTimeout: *timeout,
 		Retries:        *retries,
@@ -153,8 +165,8 @@ func main() {
 			mode = fmt.Sprintf("push (max-stale %s)", *maxStale)
 		}
 		ver, commit := telemetry.BuildInfo()
-		log.Printf("sketchgw: build %s (%s), %d peers, policy %s, federated cache %s, propagation %s, listening on %s",
-			ver, commit, len(urls), policy, cache, mode, *addr)
+		log.Printf("sketchgw: build %s (%s), %d peers, replicas %d, policy %s, federated cache %s, propagation %s, listening on %s",
+			ver, commit, len(urls), *replicas, policy, cache, mode, *addr)
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}

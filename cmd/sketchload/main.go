@@ -14,23 +14,28 @@
 // behind a push-mode sketchgw gateway — so CI can exercise the full
 // cluster serving path with one binary and no orchestration.
 //
-// -chaos inserts a chaosproxy (internal/loadgen/chaosproxy) between the
-// gateway and peer 0 and runs the named failure scenario during the
-// load phase:
+// -chaos inserts chaosproxies (internal/loadgen/chaosproxy) between the
+// gateway and the first -chaos-peers peer links (default 1) and runs the
+// named failure scenario during the load phase:
 //
-//	flap     peer 0 alternates up/down (-flap-up/-flap-down), active
-//	         connections reset on each down transition
-//	latency  every client→peer chunk is delayed by -chaos-latency
-//	stall    the first response chunk of each connection is delayed
+//	flap        peer 0 alternates up/down (-flap-up/-flap-down), active
+//	            connections reset on each down transition
+//	correlated  all -chaos-peers proxied peers flap together in lockstep
+//	            — a correlated failure (rack loss, AZ outage)
+//	latency     every client→peer chunk is delayed by -chaos-latency
+//	stall       the first response chunk of each connection is delayed
 //
-// Under -chaos flap the run is also a pass/fail availability check: the
-// gateway must answer 100% of queries (stale or fresh — the serve-stale
-// machinery's whole point), the breaker must be observed open or a
-// stale serve recorded during the flap, and after the flapping stops
-// the gateway must recover to all-peers-up, non-partial answers. Any
+// Under -chaos flap/correlated the run is also a pass/fail availability
+// check: the gateway must answer 100% of queries (stale or fresh — the
+// serve-stale machinery's whole point), the breaker must be observed
+// open or a stale serve recorded during the flap, and after the
+// flapping stops the gateway must recover to all-peers-up, non-partial
+// answers. With -replicas R > the number of flapped peers there is a
+// fourth claim: quorum must hold, i.e. no query may ever report
+// partial: true — every cell keeps a live owner throughout. Any
 // violated verdict exits 1. Ingest requests routed to the dead peer
-// legitimately fail during the flap; they are reported but do not fail
-// the scenario.
+// legitimately fail during an unreplicated flap; they are reported but
+// do not fail the scenario.
 //
 // See docs/load.md for the full flag reference, the report schema, and
 // worked chaos scenarios.
@@ -83,7 +88,9 @@ func run(args []string) int {
 		windowW = fs.Int64("window", 0, "spawn time-window peers with width W and stamp ingest batches (0 = infinite window)")
 		jitter  = fs.Int64("stamp-jitter", 0, "± stamp noise per windowed batch (keep below -window)")
 		late    = fs.Float64("late", 0, "fraction of windowed batches stamped behind the frontier")
-		chaos   = fs.String("chaos", "none", "failure scenario on peer 0 (spawn mode): none, flap, latency, stall")
+		chaos   = fs.String("chaos", "none", "failure scenario (spawn mode): none, flap, correlated, latency, stall")
+		chaosN  = fs.Int("chaos-peers", 1, "how many peer links get a chaosproxy (correlated/latency/stall apply to all of them; flap flaps the first)")
+		reps    = fs.Int("replicas", 1, "gateway replication factor (spawn mode): peers owning each routing cell")
 		chaosD  = fs.Duration("chaos-latency", 50*time.Millisecond, "injected delay for -chaos latency/stall")
 		flapUp  = fs.Duration("flap-up", 400*time.Millisecond, "up phase of -chaos flap")
 		flapDn  = fs.Duration("flap-down", 400*time.Millisecond, "down phase of -chaos flap")
@@ -100,14 +107,24 @@ func run(args []string) int {
 		return 2
 	}
 	if *chaos != "none" && *spawn == 0 {
-		fmt.Fprintln(os.Stderr, "sketchload: -chaos needs -spawn (the proxy sits between the spawned gateway and peer 0)")
+		fmt.Fprintln(os.Stderr, "sketchload: -chaos needs -spawn (the proxies sit between the spawned gateway and its peers)")
 		return 2
 	}
 	switch *chaos {
-	case "none", "flap", "latency", "stall":
+	case "none", "flap", "correlated", "latency", "stall":
 	default:
-		fmt.Fprintf(os.Stderr, "sketchload: unknown -chaos %q (want none, flap, latency, or stall)\n", *chaos)
+		fmt.Fprintf(os.Stderr, "sketchload: unknown -chaos %q (want none, flap, correlated, latency, or stall)\n", *chaos)
 		return 2
+	}
+	if *spawn > 0 {
+		if *chaosN < 1 || *chaosN > *spawn {
+			fmt.Fprintf(os.Stderr, "sketchload: -chaos-peers %d out of range [1, %d]\n", *chaosN, *spawn)
+			return 2
+		}
+		if *reps < 1 || *reps > *spawn {
+			fmt.Fprintf(os.Stderr, "sketchload: -replicas %d out of range [1, %d]\n", *reps, *spawn)
+			return 2
+		}
 	}
 
 	if *windowW > 0 && *k > 1 {
@@ -142,10 +159,14 @@ func run(args []string) int {
 	var fl *fleet
 	if *spawn > 0 {
 		var err error
+		chaosPeers := 0
+		if *chaos != "none" {
+			chaosPeers = *chaosN
+		}
 		fl, err = startFleet(fleetConfig{
 			peers: *spawn, shards: *shards, dim: *dim, alpha: *alpha,
 			seed: *seed, windowW: *windowW, maxStale: *stale,
-			chaos: *chaos != "none",
+			chaosPeers: chaosPeers, replicas: *reps,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sketchload:", err)
@@ -153,11 +174,11 @@ func run(args []string) int {
 		}
 		defer fl.stop()
 		cfg.Target = fl.gwURL
-		log.Printf("sketchload: spawned %d peers + gateway at %s", *spawn, fl.gwURL)
+		log.Printf("sketchload: spawned %d peers (replicas %d) + gateway at %s", *spawn, *reps, fl.gwURL)
 	}
 
-	desc := fmt.Sprintf("sketchload conns=%d batch=%d zipf=%g groups=%d chaos=%s spawn=%d",
-		*conns, *batch, *zipfS, *groups, *chaos, *spawn)
+	desc := fmt.Sprintf("sketchload conns=%d batch=%d zipf=%g groups=%d chaos=%s spawn=%d replicas=%d",
+		*conns, *batch, *zipfS, *groups, *chaos, *spawn, *reps)
 
 	// Warm the target before any chaos: the gateway needs at least one
 	// complete fold to serve stale from, and verdicts about staleness
@@ -188,12 +209,28 @@ func run(args []string) int {
 	switch *chaos {
 	case "flap":
 		mon = monitorStats(ctx, cfg.Target)
-		stopFlap = fl.proxy.Flap(*flapUp, *flapDn)
+		stopFlap = fl.proxies[0].Flap(*flapUp, *flapDn)
 		log.Printf("sketchload: flapping peer 0 (%v up / %v down)", *flapUp, *flapDn)
+	case "correlated":
+		mon = monitorStats(ctx, cfg.Target)
+		stops := make([]func(), len(fl.proxies))
+		for i, p := range fl.proxies {
+			stops[i] = p.Flap(*flapUp, *flapDn)
+		}
+		stopFlap = func() {
+			for _, s := range stops {
+				s()
+			}
+		}
+		log.Printf("sketchload: flapping peers 0..%d together (%v up / %v down)", len(fl.proxies)-1, *flapUp, *flapDn)
 	case "latency":
-		fl.proxy.SetLatency(*chaosD)
+		for _, p := range fl.proxies {
+			p.SetLatency(*chaosD)
+		}
 	case "stall":
-		fl.proxy.SetStall(*chaosD)
+		for _, p := range fl.proxies {
+			p.SetStall(*chaosD)
+		}
 	}
 
 	res, err := loadgen.Run(ctx, cfg)
@@ -219,8 +256,12 @@ func run(args []string) int {
 	}
 
 	exit := 0
-	if *chaos == "flap" {
-		verdict, ok := flapVerdict(ctx, cfg, fl, mon, stopFlap, res)
+	if *chaos == "flap" || *chaos == "correlated" {
+		flapped := 1
+		if *chaos == "correlated" {
+			flapped = len(fl.proxies)
+		}
+		verdict, ok := flapVerdict(ctx, cfg, fl, mon, stopFlap, res, *reps, flapped)
 		rep.Append("Load/chaos-flap", loadgen.HistSnapshot{Count: 1}, 0, 0, verdict)
 		if !ok {
 			exit = 1
@@ -254,9 +295,12 @@ func warmup(ctx context.Context, cfg loadgen.Config) error {
 	return nil
 }
 
-// flapVerdict evaluates the chaos scenario's three claims and returns
-// them as report metrics (1 pass / 0 fail) plus the overall pass.
-func flapVerdict(ctx context.Context, cfg loadgen.Config, fl *fleet, mon *statsMonitor, stopFlap func(), res *loadgen.Result) (map[string]float64, bool) {
+// flapVerdict evaluates the chaos scenario's claims and returns them as
+// report metrics (1 pass / 0 fail) plus the overall pass. The first
+// three claims always apply; the quorum claim arms only when the
+// replication factor exceeds the number of flapped peers — then every
+// cell provably kept a live owner, so no query may have been partial.
+func flapVerdict(ctx context.Context, cfg loadgen.Config, fl *fleet, mon *statsMonitor, stopFlap func(), res *loadgen.Result, replicas, flapped int) (map[string]float64, bool) {
 	// Claim 1: every query during the flap was answered.
 	available := res.Queries > 0 && res.QueryErrors == 0
 
@@ -265,20 +309,34 @@ func flapVerdict(ctx context.Context, cfg loadgen.Config, fl *fleet, mon *statsM
 	mon.stop()
 	degraded := mon.sawBreakerOpen.Load() || mon.sawStaleServe.Load()
 
-	// Claim 3: with the proxy back up, the gateway re-folds to
+	// Claim 3: with the proxies back up, the gateway re-folds to
 	// all-peers-up, non-partial answers.
 	stopFlap()
 	recovered := waitRecovered(ctx, cfg, fl.peerCount)
 
-	log.Printf("sketchload: chaos verdict: available=%v degraded-but-serving=%v recovered=%v (max staleness served %dms)",
-		available, degraded, recovered, res.MaxStalenessMS)
-	return map[string]float64{
+	// Claim 4 (replicated runs only): quorum held — the partial-query
+	// counter never moved while peers flapped, because every cell kept a
+	// live owner among its R replicas.
+	quorumArmed := replicas > flapped
+	quorumHeld := !mon.sawPartialGrowth.Load()
+
+	ok := available && degraded && recovered && (!quorumArmed || quorumHeld)
+	verdict := map[string]float64{
 		"available":        b2f(available),
 		"degraded-serving": b2f(degraded),
 		"recovered":        b2f(recovered),
 		"max-staleness-ms": float64(res.MaxStalenessMS),
 		"ingest-errors":    float64(res.IngestErrors),
-	}, available && degraded && recovered
+	}
+	if quorumArmed {
+		verdict["quorum-held"] = b2f(quorumHeld)
+		log.Printf("sketchload: chaos verdict: available=%v degraded-but-serving=%v recovered=%v quorum-held=%v (max staleness served %dms)",
+			available, degraded, recovered, quorumHeld, res.MaxStalenessMS)
+	} else {
+		log.Printf("sketchload: chaos verdict: available=%v degraded-but-serving=%v recovered=%v (max staleness served %dms)",
+			available, degraded, recovered, res.MaxStalenessMS)
+	}
+	return verdict, ok
 }
 
 // waitRecovered polls the gateway until every peer is up and a query
@@ -302,13 +360,16 @@ func waitRecovered(ctx context.Context, cfg loadgen.Config, peers int) bool {
 }
 
 // statsMonitor samples the gateway's /stats during the chaos phase and
-// latches whether the breaker was ever seen open and whether any stale
-// serve was recorded.
+// latches whether the breaker was ever seen open, whether any stale
+// serve was recorded, and whether the partial-query counter grew past
+// its first sample (the warmup may have raced a not-yet-complete fold,
+// so the baseline is the first observation, not zero).
 type statsMonitor struct {
-	sawBreakerOpen atomic.Bool
-	sawStaleServe  atomic.Bool
-	cancel         context.CancelFunc
-	done           chan struct{}
+	sawBreakerOpen   atomic.Bool
+	sawStaleServe    atomic.Bool
+	sawPartialGrowth atomic.Bool
+	cancel           context.CancelFunc
+	done             chan struct{}
 }
 
 func monitorStats(ctx context.Context, target string) *statsMonitor {
@@ -319,6 +380,7 @@ func monitorStats(ctx context.Context, target string) *statsMonitor {
 		defer close(m.done)
 		t := time.NewTicker(50 * time.Millisecond)
 		defer t.Stop()
+		partialBase := int64(-1)
 		for {
 			select {
 			case <-ctx.Done():
@@ -331,6 +393,11 @@ func monitorStats(ctx context.Context, target string) *statsMonitor {
 			}
 			if st.StaleServes > 0 {
 				m.sawStaleServe.Store(true)
+			}
+			if partialBase < 0 {
+				partialBase = st.PartialQueries
+			} else if st.PartialQueries > partialBase {
+				m.sawPartialGrowth.Store(true)
 			}
 			for _, p := range st.Peers {
 				if !p.Up {
@@ -368,26 +435,27 @@ func b2f(b bool) float64 {
 
 // fleetConfig shapes an in-process peer fleet.
 type fleetConfig struct {
-	peers    int
-	shards   int
-	dim      int
-	alpha    float64
-	seed     uint64
-	windowW  int64
-	maxStale time.Duration
-	chaos    bool
+	peers      int
+	shards     int
+	dim        int
+	alpha      float64
+	seed       uint64
+	windowW    int64
+	maxStale   time.Duration
+	chaosPeers int // peer links fronted by a chaosproxy (0 = none)
+	replicas   int // gateway replication factor (0 = default 1)
 }
 
 // fleet is a self-contained serving topology on loopback ports: N
-// sketchd peers, an optional chaosproxy in front of peer 0, and a
-// push-mode gateway federating them.
+// sketchd peers, optional chaosproxies in front of the first links, and
+// a push-mode gateway federating them.
 type fleet struct {
 	engines   []*engine.Engine
 	servers   []*http.Server
 	gw        *cluster.Gateway
 	gwSrv     *http.Server
 	gwURL     string
-	proxy     *chaosproxy.Proxy
+	proxies   []*chaosproxy.Proxy
 	peerCount int
 }
 
@@ -437,14 +505,14 @@ func startFleet(fc fleetConfig) (*fleet, error) {
 	}
 
 	gwPeers := append([]string(nil), peerURLs...)
-	if fc.chaos {
-		p, err := chaosproxy.New(peerURLs[0])
+	for i := 0; i < fc.chaosPeers; i++ {
+		p, err := chaosproxy.New(peerURLs[i])
 		if err != nil {
 			fl.stop()
 			return nil, err
 		}
-		fl.proxy = p
-		gwPeers[0] = p.URL()
+		fl.proxies = append(fl.proxies, p)
+		gwPeers[i] = p.URL()
 	}
 
 	router, err := engine.NewRouterFromOptions(core.Options{Alpha: fc.alpha, Dim: fc.dim, Seed: fc.seed})
@@ -456,6 +524,8 @@ func startFleet(fc fleetConfig) (*fleet, error) {
 		Peers:          gwPeers,
 		Router:         router,
 		Dim:            fc.dim,
+		Replicas:       fc.replicas,
+		HandoffRetry:   100 * time.Millisecond,
 		Partial:        cluster.PartialDegrade,
 		RequestTimeout: 2 * time.Second,
 		Retries:        cluster.NoRetries,
@@ -484,7 +554,7 @@ func startFleet(fc fleetConfig) (*fleet, error) {
 }
 
 // stop tears the fleet down in dependency order: gateway first (its
-// watchers hold peer connections), then the proxy, then the peers.
+// watchers hold peer connections), then the proxies, then the peers.
 func (fl *fleet) stop() {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
@@ -494,8 +564,8 @@ func (fl *fleet) stop() {
 	if fl.gw != nil {
 		fl.gw.Close()
 	}
-	if fl.proxy != nil {
-		fl.proxy.Close()
+	for _, p := range fl.proxies {
+		p.Close()
 	}
 	for _, hs := range fl.servers {
 		hs.Shutdown(ctx)

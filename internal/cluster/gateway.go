@@ -47,7 +47,6 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/geom"
-	"repro/internal/hash"
 	"repro/internal/pointio"
 	"repro/internal/server"
 	"repro/internal/telemetry"
@@ -116,8 +115,33 @@ type Config struct {
 	// Dim is the point dimension used to parse ingest bodies. Required.
 	Dim int
 
-	// Partial is the partial-failure policy for queries. Defaults to
-	// PartialDegrade.
+	// Replicas is the number of peers that own each routing cell (R-way
+	// replicated placement; see engine.NewPlacement). The default 1
+	// reproduces the single-owner routing bit for bit. With R > 1 routed
+	// ingest fans each sub-batch to every owner, folds stay complete
+	// (partial: false) while fewer than R peers are down, and sub-batches
+	// missed by a down replica are queued for hinted handoff. At most
+	// engine.MaxReplicas and at most len(Peers).
+	Replicas int
+
+	// HandoffMax bounds each peer's hinted-handoff queue, in sub-batch
+	// bodies (each up to forwardChunkBytes). When a replica is down or a
+	// forward to it fails, the missed sub-batches are queued and replayed
+	// by a background drainer once the peer's breaker re-admits it; past
+	// the bound the newest hint is dropped and counted (handoff_drops) —
+	// ingest never blocks on a dead replica. Only used when Replicas > 1.
+	// Defaults to 256.
+	HandoffMax int
+
+	// HandoffRetry is the handoff drainer's polling cadence: how often
+	// queued hints retry their peer (admission still honors the breaker
+	// cooldown, so a dead peer is probed, not hammered). Defaults to
+	// 250ms.
+	HandoffRetry time.Duration
+
+	// Partial is the partial-failure policy for queries. Under replication
+	// it applies to quorum-partial folds only: a fold missing fewer than
+	// Replicas peers is complete, not partial. Defaults to PartialDegrade.
 	Partial Policy
 
 	// RequestTimeout bounds each attempt of each peer request. Defaults
@@ -210,6 +234,15 @@ func (c Config) withDefaults() Config {
 	if c.Partial == "" {
 		c.Partial = PartialDegrade
 	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.HandoffMax <= 0 {
+		c.HandoffMax = 256
+	}
+	if c.HandoffRetry <= 0 {
+		c.HandoffRetry = 250 * time.Millisecond
+	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 5 * time.Second
 	}
@@ -258,16 +291,30 @@ func (c Config) withDefaults() Config {
 // federated cache (cacheMu), mirroring how a single daemon serializes
 // snapshot queries on the engine's snapshot cache.
 type Gateway struct {
-	cfg    Config
-	peers  []*peer
-	mux    *http.ServeMux
-	client *http.Client
-	start  time.Time
+	cfg       Config
+	peers     []*peer
+	placement engine.Placement // cell → R owning peers (R=1 is the legacy single-owner routing)
+	mux       *http.ServeMux
+	client    *http.Client
+	start     time.Time
 
 	ingestRequests atomic.Int64
 	pointsRouted   atomic.Int64
 	queries        atomic.Int64
 	partialQueries atomic.Int64
+
+	// Replication state (Replicas > 1; see handoff.go). handoff holds one
+	// bounded hint queue per peer; the drainer goroutine replays queued
+	// sub-batches when a peer's breaker re-admits it and read-repairs
+	// replicas it sees rejoin.
+	handoff         []*handoffQueue
+	handoffKick     chan struct{} // wakes the drainer early (capacity 1)
+	replicaFanout   atomic.Int64  // extra point copies routed to replica owners
+	handoffDepth    atomic.Int64  // sub-batches currently queued across peers
+	handoffEnqueued atomic.Int64  // sub-batches ever queued for handoff
+	handoffDrained  atomic.Int64  // queued sub-batches successfully replayed
+	handoffDropped  atomic.Int64  // sub-batches lost to overflow or rejected replays
+	readRepairs     atomic.Int64  // rejoining replicas repaired with their merged slice
 
 	// Federated query cache (see refresh): per-peer snapshots keyed by
 	// the peers' ETags (ingest epochs), the merged union keyed by the
@@ -362,7 +409,11 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.Push && cfg.NoCache {
 		return nil, fmt.Errorf("cluster: Push requires the federated cache (drop NoCache)")
 	}
-	g := &Gateway{cfg: cfg, mux: http.NewServeMux(), client: cfg.Client, start: time.Now()}
+	pl, err := engine.NewPlacement(len(cfg.Peers), cfg.Replicas)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: Config.Replicas: %w", err)
+	}
+	g := &Gateway{cfg: cfg, placement: pl, mux: http.NewServeMux(), client: cfg.Client, start: time.Now()}
 	g.peerSnaps = make([]peerSnap, len(cfg.Peers))
 	g.answers = make(map[int]server.QueryResponse)
 	g.peers = make([]*peer, len(cfg.Peers))
@@ -394,13 +445,24 @@ func New(cfg Config) (*Gateway, error) {
 			go g.watchPeer(i, p)
 		}
 	}
+	if cfg.Replicas > 1 {
+		g.handoff = make([]*handoffQueue, len(g.peers))
+		for i := range g.handoff {
+			g.handoff[i] = &handoffQueue{}
+		}
+		g.handoffKick = make(chan struct{}, 1)
+		g.watcherWG.Add(1)
+		go g.handoffDrainer()
+	}
 	return g, nil
 }
 
-// Close stops the push machinery: the per-peer watchers (aborting their
-// in-flight long-polls) and the background refresher. Idempotent; a
-// no-op for pull gateways. In-flight HTTP requests served by the
-// gateway are unaffected.
+// Close stops the background machinery: the per-peer push watchers
+// (aborting their in-flight long-polls), the background refresher, and
+// the hinted-handoff drainer. Idempotent; a no-op for pull gateways
+// without replication. In-flight HTTP requests served by the gateway are
+// unaffected. Hints still queued when Close returns are dropped with the
+// gateway.
 func (g *Gateway) Close() {
 	g.closeOnce.Do(func() {
 		close(g.stop)
@@ -418,9 +480,16 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) { g.mux.Serv
 type QueryResponse struct {
 	server.QueryResponse
 
-	// Partial is true when the answer was folded from a strict subset of
-	// the peers (PartialDegrade only; PartialFail errors instead).
+	// Partial is true when the answer may be missing data: the fold lost
+	// at least Replicas peers — i.e. possibly every owner of some routing
+	// cell — or a contributing peer flagged its own fold partial
+	// (PartialDegrade only; PartialFail errors instead). With replication,
+	// folds missing fewer than Replicas peers are complete and Partial
+	// stays false.
 	Partial bool `json:"partial"`
+	// Replicas is the configured replication factor: every routing cell
+	// is owned by this many peers.
+	Replicas int `json:"replicas"`
 	// PeersTotal is the configured fleet size.
 	PeersTotal int `json:"peers_total"`
 	// PeersOK is the number of peers whose sketch contributed.
@@ -465,6 +534,34 @@ type StatsResponse struct {
 	Peers []PeerStatus `json:"peers"`
 	// PeersUp counts peers whose breaker is currently closed.
 	PeersUp int `json:"peers_up"`
+	// Replicas is the configured replication factor: each routing cell is
+	// owned by this many peers (1 = unreplicated).
+	Replicas int `json:"replicas"`
+	// QuorumOK reports whether every routing cell currently has at least
+	// one live owner (fewer than Replicas peers down, and at least one
+	// up). While true, folds are complete and queries answer with
+	// partial: false even though peers may be down.
+	QuorumOK bool `json:"quorum_ok"`
+	// ReplicaFanout counts the extra point copies routed to replica
+	// owners, beyond the one primary copy per point (0 when Replicas
+	// is 1).
+	ReplicaFanout int64 `json:"replica_fanout"`
+	// HandoffDepth is the number of sub-batch bodies currently queued for
+	// hinted handoff, across all peers.
+	HandoffDepth int64 `json:"handoff_depth"`
+	// HandoffEnqueued counts sub-batches ever queued for hinted handoff
+	// because a replica was down or a forward to it failed.
+	HandoffEnqueued int64 `json:"handoff_enqueued"`
+	// HandoffDrains counts queued sub-batches successfully replayed to
+	// their recovered replica.
+	HandoffDrains int64 `json:"handoff_drains"`
+	// HandoffDrops counts sub-batches lost from the handoff queues:
+	// overflow past HandoffMax, or a replay the peer answered but
+	// rejected.
+	HandoffDrops int64 `json:"handoff_drops"`
+	// ReadRepairs counts rejoined replicas repaired by shipping them the
+	// merged slice of the cell space they own (POST /sketch).
+	ReadRepairs int64 `json:"read_repairs"`
 	// PartialPolicy is the configured partial-failure policy.
 	PartialPolicy Policy `json:"partial_policy"`
 	// StartedAt is when the gateway was built (RFC 3339).
@@ -527,18 +624,21 @@ type StatsResponse struct {
 	MaxStalenessMS float64 `json:"max_staleness_ms"`
 }
 
-// peerIndex maps a point to its home peer. The routing-cell hash is
-// bit-mixed before the modular reduction: the peers reduce the very same
-// cell hash mod their internal shard count, and without the mix a peer
-// that only ever receives hashes ≡ i (mod peers) would feed only the
-// shards with indices in that residue class whenever gcd(peers, shards)
-// > 1, idling the rest. Mixing decorrelates the two reductions while
-// still sending every point of one routing cell — hence one
-// near-duplicate group, with high probability — to one peer.
+// peerIndex maps a point to its primary home peer. The routing-cell hash
+// is bit-mixed before the modular reduction (inside engine.Placement):
+// the peers reduce the very same cell hash mod their internal shard
+// count, and without the mix a peer that only ever receives hashes ≡ i
+// (mod peers) would feed only the shards with indices in that residue
+// class whenever gcd(peers, shards) > 1, idling the rest. Mixing
+// decorrelates the two reductions while still sending every point of one
+// routing cell — hence one near-duplicate group, with high probability —
+// to one peer. With Replicas > 1 the cell's remaining owners come from
+// placement.Owners; the primary is unchanged, so enabling replication
+// never moves the first copy of any point.
 //
 //sketch:hotpath
 func (g *Gateway) peerIndex(p geom.Point) int {
-	return int(hash.Mix64(g.cfg.Router.Route(p)) % uint64(len(g.peers)))
+	return g.placement.Primary(g.cfg.Router.Route(p))
 }
 
 // forwardChunkBytes caps one forwarded packed-binary sub-batch body —
@@ -571,11 +671,23 @@ const partialHeader = "X-Sketch-Partial"
 // fanout summarizes one scatter-gather round.
 type fanout struct {
 	ok       int
+	replicas int      // replication factor the round ran under (0 and 1 mean unreplicated)
 	failed   []string // base URLs that were down or failed
 	degraded []string // base URLs that answered but flagged their own fold partial
 }
 
-func (f fanout) partial() bool { return len(f.failed)+len(f.degraded) > 0 }
+// partial reports whether the fold may be missing data. With R-way
+// replicated placement every routing cell is owned by R distinct peers,
+// so as long as fewer than R peers are missing from the round the union
+// of the live subset still contains every cell — folding several owners
+// of one cell is a free no-op (sketch union is idempotent), and folding
+// at least one is completeness. Only when R or more peers are missing
+// can some cell have lost all its owners, and only then is the answer
+// partial. Degraded peers (stacked gateways whose own fold was partial)
+// always taint the fold: what they are missing is unknown.
+func (f fanout) partial() bool {
+	return len(f.degraded) > 0 || len(f.failed) >= max(f.replicas, 1)
+}
 
 // scatterResult is one peer's outcome in a refresh round.
 type scatterResult struct {
@@ -711,7 +823,7 @@ func (g *Gateway) scatter(ctx context.Context) error {
 	}
 	wg.Wait()
 
-	var fo fanout
+	fo := fanout{replicas: g.cfg.Replicas}
 	parts := make([]string, len(res))
 	for i, r := range res {
 		parts[i] = r.validator
@@ -866,6 +978,7 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 	fo := g.mergedFo
 	resp := QueryResponse{
 		Partial:       fo.partial(),
+		Replicas:      g.cfg.Replicas,
 		PeersTotal:    len(g.peers),
 		PeersOK:       fo.ok,
 		FailedPeers:   fo.failed,
@@ -993,11 +1106,16 @@ func (g *Gateway) handleSketch(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleIngest routes a batch across the fleet: each point is assigned to
-// exactly one peer by its routing-cell hash, and the per-peer sub-batches
-// are forwarded in parallel in the packed-binary format. Any peer failure
-// fails the whole request with 502 — but sub-batches already delivered
-// stay delivered, and retrying the full batch is safe: re-ingested points
-// are near-duplicates of themselves and collapse in the sketches.
+// the owners of its routing cell — exactly one peer without replication,
+// all R owners with Replicas > 1 — and the per-peer sub-batches are
+// forwarded in parallel in the packed-binary format. Without replication
+// any peer failure fails the whole request with 502; with replication the
+// request succeeds as long as every point reached at least one live owner
+// (fewer than Replicas distinct peers failed), and the sub-batches a
+// failed replica missed are queued for hinted handoff instead. Either
+// way, sub-batches already delivered stay delivered, and retrying the
+// full batch is safe: re-ingested points are near-duplicates of
+// themselves and collapse in the sketches.
 func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	span, ctx := g.beginTrace(w, r)
@@ -1018,9 +1136,21 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	tr := time.Now()
 	buckets := make([][]geom.Point, len(g.peers))
-	for _, p := range pts {
-		i := g.peerIndex(p)
-		buckets[i] = append(buckets[i], p)
+	if g.cfg.Replicas > 1 {
+		var ob [engine.MaxReplicas]int
+		copies := 0
+		for _, p := range pts {
+			for _, i := range g.placement.Owners(g.cfg.Router.Route(p), ob[:0]) {
+				buckets[i] = append(buckets[i], p)
+				copies++
+			}
+		}
+		g.replicaFanout.Add(int64(copies - len(pts)))
+	} else {
+		for _, p := range pts {
+			i := g.peerIndex(p)
+			buckets[i] = append(buckets[i], p)
+		}
 	}
 	telemetry.Observe(g.tel.route, span, "route", time.Since(tr))
 	// Windowed peers stamp ingest batches: forward the client's explicit
@@ -1033,11 +1163,16 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 		stampHdr = http.Header{server.StampHeader: []string{v}}
 	}
 
+	replicated := g.cfg.Replicas > 1
 	var (
-		wg     sync.WaitGroup
-		mu     sync.Mutex
-		failed []string
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		failed     []string
+		failedPeer map[int]bool // distinct peer indices with undelivered sub-batches
 	)
+	if replicated {
+		failedPeer = make(map[int]bool)
+	}
 	tf := time.Now()
 	now := tf
 	for i, bucket := range buckets {
@@ -1050,11 +1185,17 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 			// be appending their failures concurrently.
 			mu.Lock()
 			failed = append(failed, fmt.Sprintf("%s: down (circuit open)", p.url))
+			if replicated {
+				failedPeer[i] = true
+			}
 			mu.Unlock()
+			if replicated {
+				g.hintBucket(i, bucket, stampHdr)
+			}
 			continue
 		}
 		wg.Add(1)
-		go func(p *peer, bucket []geom.Point) {
+		go func(i int, p *peer, bucket []geom.Point) {
 			defer wg.Done()
 			// Forward in bounded chunks: a terse text body near the
 			// gateway's cap can expand several-fold when re-encoded as
@@ -1073,10 +1214,19 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 					// The buffer is NOT recycled on failure: a timed-out
 					// attempt's transport goroutine may still be reading it,
 					// and recycling would hand those bytes to another request
-					// mid-write. Dropped buffers are reclaimed by GC.
+					// mid-write. Dropped buffers are reclaimed by GC — which
+					// also makes the failed body safe to park in the hint
+					// queue as is.
 					mu.Lock()
 					failed = append(failed, err.Error())
+					if replicated {
+						failedPeer[i] = true
+					}
 					mu.Unlock()
+					if replicated {
+						g.enqueueHint(i, body, stampHdr, n)
+						g.hintBucket(i, bucket, stampHdr)
+					}
 					return
 				}
 				putForwardBuf(body)
@@ -1085,16 +1235,25 @@ func (g *Gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 					mu.Lock()
 					failed = append(failed, fmt.Sprintf("%s: peer accepted %d of %d points (%v)",
 						p.url, ir.Ingested, n, err))
+					if replicated {
+						failedPeer[i] = true
+					}
 					mu.Unlock()
 					return
 				}
 				g.pointsRouted.Add(int64(n))
 			}
-		}(p, bucket)
+		}(i, p, bucket)
 	}
 	wg.Wait()
 	telemetry.Observe(g.tel.forward, span, "forward", time.Since(tf))
-	if len(failed) > 0 {
+	// Without replication any failure loses that peer's slice of the
+	// batch, so the whole request fails. With replication every point went
+	// to Replicas distinct owners: as long as fewer than Replicas distinct
+	// peers failed, each point reached at least one live owner — the
+	// ingest is durable, the missed copies sit in the handoff queues, and
+	// the request succeeds.
+	if len(failed) > 0 && (!replicated || len(failedPeer) >= g.cfg.Replicas) {
 		server.WriteError(w, http.StatusBadGateway,
 			fmt.Errorf("cluster: ingest failed on %d peer(s) — retrying the whole batch is safe (duplicates collapse): %s",
 				len(failed), strings.Join(failed, "; ")))
@@ -1120,6 +1279,13 @@ func (g *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Version:          version,
 		Commit:           commit,
 		Peers:            make([]PeerStatus, len(g.peers)),
+		Replicas:         g.cfg.Replicas,
+		ReplicaFanout:    g.replicaFanout.Load(),
+		HandoffDepth:     g.handoffDepth.Load(),
+		HandoffEnqueued:  g.handoffEnqueued.Load(),
+		HandoffDrains:    g.handoffDrained.Load(),
+		HandoffDrops:     g.handoffDropped.Load(),
+		ReadRepairs:      g.readRepairs.Load(),
 		PartialPolicy:    g.cfg.Partial,
 		StartedAt:        g.start.UTC().Format(time.RFC3339),
 		UptimeSeconds:    time.Since(g.start).Seconds(),
@@ -1159,18 +1325,38 @@ func (g *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
 			WatchOK:             p.watchOK.Load(),
 		}
 	}
+	resp.QuorumOK = resp.PeersUp > 0 && len(g.peers)-resp.PeersUp < g.cfg.Replicas
 	server.WriteJSON(w, http.StatusOK, resp)
 }
 
-// handleHealthz reflects fleet health: 200 "ok" with every breaker
-// closed, 200 "degraded (k/n peers up)" with a live subset, 503 with
-// none (the gateway cannot answer anything). A tripped peer counts as
-// down until a successful probe closes its breaker — elapsing cooldown
-// alone never reports health back. Health is passive: it reflects what
-// request traffic has observed, so peers that have never been talked to
-// are presumed up (an idle gateway with unreachable peers reports ok
-// until requests prove otherwise) — probe the peers' own /healthz for
-// active cold-start detection.
+// quorumOK reports whether every routing cell has at least one live
+// owner: each cell's Replicas owners are distinct peers, so as long as
+// fewer than Replicas peers are down no cell can have lost all of them.
+func (g *Gateway) quorumOK() bool {
+	up := 0
+	for _, p := range g.peers {
+		if p.up() {
+			up++
+		}
+	}
+	return up > 0 && len(g.peers)-up < g.cfg.Replicas
+}
+
+// handleHealthz reflects fleet health, placement-aware: 200 "ok" with
+// every breaker closed, and — with replication — still 200 "ok" at
+// reduced redundancy while fewer than Replicas peers are down, because
+// every routing cell provably keeps a live owner and queries stay
+// complete. "degraded" means quorum is lost: at least one cell may have
+// no live owner (with Replicas 1 that is any down peer, reproducing the
+// old behavior). 503 with no live peers at all (the gateway cannot
+// answer anything). A tripped peer counts as down until a successful
+// probe closes its breaker — elapsing cooldown alone never reports
+// health back. Health is passive: it reflects what request traffic has
+// observed, so peers that have never been talked to are presumed up (an
+// idle gateway with unreachable peers reports ok until requests prove
+// otherwise) — probe the peers' own /healthz for active cold-start
+// detection. A non-empty hinted-handoff backlog is surfaced on its own
+// line in every state.
 func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	up := 0
 	for _, p := range g.peers {
@@ -1178,16 +1364,23 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			up++
 		}
 	}
+	down := len(g.peers) - up
 	w.Header().Set("Content-Type", "text/plain")
 	version, commit := telemetry.BuildInfo()
 	switch {
-	case up == len(g.peers):
-		fmt.Fprintln(w, "ok")
-	case up > 0:
-		fmt.Fprintf(w, "degraded (%d/%d peers up)\n", up, len(g.peers))
-	default:
+	case up == 0:
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "no live peers")
+	case down == 0:
+		fmt.Fprintln(w, "ok")
+	case down < g.cfg.Replicas:
+		fmt.Fprintf(w, "ok (reduced redundancy: %d/%d peers down, every cell keeps a live owner at replicas=%d)\n",
+			down, len(g.peers), g.cfg.Replicas)
+	default:
+		fmt.Fprintf(w, "degraded (%d/%d peers up)\n", up, len(g.peers))
+	}
+	if d := g.handoffDepth.Load(); d > 0 {
+		fmt.Fprintf(w, "handoff backlog: %d sub-batches queued\n", d)
 	}
 	fmt.Fprintf(w, "build %s (%s)\n", version, commit)
 }

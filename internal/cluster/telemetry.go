@@ -73,6 +73,22 @@ func (g *Gateway) initTelemetry() {
 		})
 	gauge("push", "1 if push-based epoch propagation is enabled.",
 		func() float64 { return b01(g.cfg.Push) })
+	gauge("replicas", "Configured replication factor (owners per routing cell).",
+		func() float64 { return float64(g.cfg.Replicas) })
+	gauge("quorum_ok", "1 while every routing cell has at least one live owner.",
+		func() float64 { return b01(g.quorumOK()) })
+	counter("replica_fanout_total", "Extra point copies routed to replica owners.",
+		func() float64 { return float64(g.replicaFanout.Load()) })
+	gauge("handoff_depth", "Sub-batches currently queued for hinted handoff.",
+		func() float64 { return float64(g.handoffDepth.Load()) })
+	counter("handoff_enqueued_total", "Sub-batches ever queued for hinted handoff.",
+		func() float64 { return float64(g.handoffEnqueued.Load()) })
+	counter("handoff_drains_total", "Queued sub-batches successfully replayed.",
+		func() float64 { return float64(g.handoffDrained.Load()) })
+	counter("handoff_drops_total", "Sub-batches lost to queue overflow or rejected replays.",
+		func() float64 { return float64(g.handoffDropped.Load()) })
+	counter("read_repairs_total", "Rejoined replicas repaired with their merged slice.",
+		func() float64 { return float64(g.readRepairs.Load()) })
 	gauge("start_time_seconds", "Unix time the gateway was built.",
 		func() float64 { return float64(g.start.UnixNano()) / 1e9 })
 	gauge("uptime_seconds", "Seconds since the gateway was built.",

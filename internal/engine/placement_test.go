@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/pkg/sketch"
+)
+
+// TestPlacementValidation pins the constructor's bounds: at least one
+// peer, replicas within [1, MaxReplicas], and never more replicas than
+// peers.
+func TestPlacementValidation(t *testing.T) {
+	bad := []struct{ peers, replicas int }{
+		{0, 1}, {-1, 1}, {3, 0}, {3, -2}, {3, 4}, {16, MaxReplicas + 1},
+	}
+	for _, c := range bad {
+		if _, err := NewPlacement(c.peers, c.replicas); err == nil {
+			t.Errorf("NewPlacement(%d, %d) accepted", c.peers, c.replicas)
+		}
+	}
+	pl, err := NewPlacement(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Peers() != 5 || pl.Replicas() != 3 {
+		t.Fatalf("placement reports %d peers / %d replicas, want 5/3", pl.Peers(), pl.Replicas())
+	}
+}
+
+// TestPlacementPrimaryCompat pins the bit-compat invariant behind the
+// Replicas=1 default: the primary owner is exactly the mixed modular
+// reduction the single-owner gateway has always routed by, for any peer
+// count — so enabling the placement layer changes nothing at R=1.
+func TestPlacementPrimaryCompat(t *testing.T) {
+	for _, peers := range []int{1, 2, 3, 5, 8, 13} {
+		pl, err := NewPlacement(peers, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cell := uint64(0); cell < 10_000; cell += 7 {
+			want := int(hash.Mix64(cell) % uint64(peers))
+			if got := pl.Primary(cell); got != want {
+				t.Fatalf("peers=%d cell=%d: Primary %d, legacy route %d", peers, cell, got, want)
+			}
+			if owners := pl.Owners(cell, nil); len(owners) != 1 || owners[0] != want {
+				t.Fatalf("peers=%d cell=%d: Owners %v, want [%d]", peers, cell, owners, want)
+			}
+		}
+	}
+}
+
+// TestPlacementOwnersDeterministicDistinct: the owner set of a cell is a
+// pure function of (cell, peers, replicas), always holds exactly R
+// distinct peers with the primary first, and Owns agrees with it.
+func TestPlacementOwnersDeterministicDistinct(t *testing.T) {
+	pl, err := NewPlacement(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl2, _ := NewPlacement(6, 3)
+	var buf [MaxReplicas]int
+	for cell := uint64(0); cell < 20_000; cell += 11 {
+		owners := pl.Owners(cell, buf[:0])
+		if len(owners) != 3 {
+			t.Fatalf("cell %d: %d owners, want 3", cell, len(owners))
+		}
+		if owners[0] != pl.Primary(cell) {
+			t.Fatalf("cell %d: owners %v do not lead with primary %d", cell, owners, pl.Primary(cell))
+		}
+		seen := map[int]bool{}
+		for _, o := range owners {
+			if o < 0 || o >= 6 || seen[o] {
+				t.Fatalf("cell %d: invalid or duplicate owner in %v", cell, owners)
+			}
+			seen[o] = true
+		}
+		again := pl2.Owners(cell, nil)
+		for i := range owners {
+			if owners[i] != again[i] {
+				t.Fatalf("cell %d: owners not deterministic: %v vs %v", cell, owners, again)
+			}
+		}
+		for i := 0; i < 6; i++ {
+			if pl.Owns(cell, i) != seen[i] {
+				t.Fatalf("cell %d: Owns(%d)=%v disagrees with owner set %v", cell, i, !seen[i], owners)
+			}
+		}
+	}
+}
+
+// TestPlacementBalance: over many cells every peer's total ownership
+// share stays near replicas/peers — rendezvous hashing must not pile
+// secondary ownership onto a few peers.
+func TestPlacementBalance(t *testing.T) {
+	const peers, replicas, cells = 5, 2, 50_000
+	pl, err := NewPlacement(peers, replicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, peers)
+	var buf [MaxReplicas]int
+	for cell := uint64(0); cell < cells; cell++ {
+		// Hash the loop index so the sampled cells look like real grid
+		// keys rather than tiny consecutive integers.
+		for _, o := range pl.Owners(hash.Mix64(cell), buf[:0]) {
+			counts[o]++
+		}
+	}
+	want := float64(cells) * replicas / peers
+	for i, n := range counts {
+		if dev := math.Abs(float64(n)-want) / want; dev > 0.05 {
+			t.Fatalf("peer %d owns %d of %d cell-slots (want ~%.0f, deviation %.1f%%): %v",
+				i, n, cells*replicas, want, 100*dev, counts)
+		}
+	}
+}
+
+// TestAbsorbFoldsSketch: Absorb folds a foreign sketch into the engine's
+// shards so a subsequent query covers both streams, bumps the epoch, and
+// is idempotent — absorbing the same envelope twice changes nothing
+// (sketch union collapses duplicates), which is what makes read-repair
+// replays safe.
+func TestAbsorbFoldsSketch(t *testing.T) {
+	const groups, dup = 300, 5
+	pts := stream(groups, dup, 9)
+	opts := core.Options{
+		Alpha: 1, Dim: 2, Seed: 31,
+		StreamBound: len(pts) + 1,
+		Kappa:       64, // exact regime: estimates are exact group counts
+	}
+
+	eng, err := NewSamplerEngine(opts, Config{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	half := len(pts) / 2
+	eng.ProcessBatch(pts[:half])
+	eng.Drain()
+
+	other, err := sketch.NewL0(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.ProcessBatch(pts[half:])
+
+	epoch0 := eng.Epoch()
+	if err := eng.Absorb(other); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Epoch() <= epoch0 {
+		t.Fatalf("Absorb did not bump the epoch (%d → %d)", epoch0, eng.Epoch())
+	}
+
+	seq, err := sketch.NewL0(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq.ProcessBatch(pts)
+	want, err := seq.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Estimate != want.Estimate {
+		t.Fatalf("absorbed estimate %g, sequential full-stream estimate %g", got.Estimate, want.Estimate)
+	}
+
+	// Idempotence: the same envelope again is a no-op on the estimate.
+	if err := eng.Absorb(other); err != nil {
+		t.Fatal(err)
+	}
+	again, err := eng.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Estimate != got.Estimate {
+		t.Fatalf("re-absorb changed the estimate %g → %g", got.Estimate, again.Estimate)
+	}
+}

@@ -150,6 +150,8 @@ type Server struct {
 	watchChanged  atomic.Int64 // /watch answers that reported a newer epoch
 	watchTimeouts atomic.Int64 // /watch answers that timed out unchanged
 
+	sketchAbsorbs atomic.Int64 // POST /sketch envelopes folded into the engine (read repair)
+
 	reg  *telemetry.Registry // /metrics families; nil when NoMetrics
 	slow *telemetry.SlowLog
 	tel  daemonTelemetry
@@ -177,6 +179,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /query", s.handleQuery)
 	s.mux.HandleFunc("GET /sketch", s.handleSketch)
+	s.mux.HandleFunc("POST /sketch", s.handleAbsorb)
 	s.mux.HandleFunc("GET /watch", s.handleWatch)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
@@ -264,6 +267,10 @@ type StatsResponse struct {
 	// WatchTimeouts counts /watch answers that timed out with the epoch
 	// unchanged.
 	WatchTimeouts int64 `json:"watch_timeouts"`
+	// SketchAbsorbs counts POST /sketch envelopes folded into the engine
+	// — read-repair deliveries from a cluster gateway after this daemon
+	// rejoined the fleet.
+	SketchAbsorbs int64 `json:"sketch_absorbs"`
 }
 
 // CheckpointResponse is the JSON body of a successful POST /checkpoint.
@@ -590,6 +597,60 @@ func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
 	s.finishRequest(span, s.tel.reqSketch, "/sketch", http.StatusOK, epoch, t0)
 }
 
+// AbsorbResponse is the JSON body of a successful POST /sketch.
+type AbsorbResponse struct {
+	// Kind is the family of the absorbed sketch envelope.
+	Kind string `json:"kind"`
+	// Epoch is the engine's ingest epoch after the absorb (the absorb
+	// itself bumps it, so observers of /watch see the repair land).
+	Epoch int64 `json:"epoch"`
+}
+
+// handleAbsorb folds a serialized sketch envelope into the live engine —
+// the receiving half of cluster read repair (see engine.Absorb). The body
+// is the same versioned envelope GET /sketch exports; absorbing is
+// idempotent, so retrying a failed delivery is always safe. A malformed
+// envelope answers 400; a family that cannot be partitioned or merged,
+// or options mismatching the engine's, answers 422 — the daemon is
+// healthy, the payload is not absorbable.
+func (s *Server) handleAbsorb(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	span := s.beginTrace(w, r)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	blob, err := io.ReadAll(body)
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		WriteError(w, status, err)
+		s.finishRequest(span, s.tel.reqIngest, "/sketch", status, s.cfg.Engine.Epoch(), t0)
+		return
+	}
+	in, err := sketch.Deserialize(blob)
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, err)
+		s.finishRequest(span, s.tel.reqIngest, "/sketch", http.StatusBadRequest, s.cfg.Engine.Epoch(), t0)
+		return
+	}
+	ti := time.Now()
+	err = s.cfg.Engine.Absorb(in)
+	telemetry.Observe(s.tel.ingest, span, "ingest", time.Since(ti))
+	if err != nil {
+		WriteError(w, http.StatusUnprocessableEntity, err)
+		s.finishRequest(span, s.tel.reqIngest, "/sketch", http.StatusUnprocessableEntity, s.cfg.Engine.Epoch(), t0)
+		return
+	}
+	s.sketchAbsorbs.Add(1)
+	kind := ""
+	if k, kerr := sketch.KindOf(blob); kerr == nil {
+		kind = k.String()
+	}
+	WriteJSON(w, http.StatusOK, AbsorbResponse{Kind: kind, Epoch: s.cfg.Engine.Epoch()})
+	s.finishRequest(span, s.tel.reqIngest, "/sketch", http.StatusOK, s.cfg.Engine.Epoch(), t0)
+}
+
 // marshaledSnapshot returns the serialized merged snapshot and its
 // epoch, re-serializing only when the epoch has moved since the last
 // export. A nil blob with a nil error means the request's If-None-Match
@@ -651,6 +712,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		WatchRequests:          s.watchRequests.Load(),
 		WatchChanged:           s.watchChanged.Load(),
 		WatchTimeouts:          s.watchTimeouts.Load(),
+		SketchAbsorbs:          s.sketchAbsorbs.Load(),
 	})
 }
 

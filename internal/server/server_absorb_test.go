@@ -1,0 +1,130 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+
+	"repro/internal/core"
+	"repro/pkg/sketch"
+)
+
+// TestAbsorbEndpoint covers POST /sketch, the read-repair wire path: a
+// serialized envelope folds into the live engine (estimate then covers
+// both streams), the absorb bumps the served epoch, replays are
+// idempotent, and malformed or mismatched envelopes are rejected without
+// touching the engine.
+func TestAbsorbEndpoint(t *testing.T) {
+	const groups, dup = 200, 5
+	pts := stream(groups, dup, 13)
+	opts := core.Options{
+		Alpha: 1, Dim: 2, Seed: 37,
+		StreamBound: len(pts) + 1,
+		Kappa:       64, // exact regime
+	}
+	ts, eng := newL0Server(t, opts, 2, "")
+
+	half := len(pts) / 2
+	resp, err := http.Post(ts.URL+"/ingest", "application/x-ndjson", ndjsonBody(pts[:half]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir := mustJSON[IngestResponse](t, resp, http.StatusOK)
+	if ir.Ingested != half {
+		t.Fatalf("ingested %d of %d", ir.Ingested, half)
+	}
+	eng.Drain()
+	epochBefore := eng.Epoch()
+
+	// Build the "missed" half as a standalone sketch and ship it over the
+	// wire, exactly as the gateway's read repair does.
+	other, err := sketch.NewL0(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.ProcessBatch(pts[half:])
+	blob, err := other.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/sketch", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := mustJSON[AbsorbResponse](t, resp, http.StatusOK)
+	if ar.Kind != "l0" || ar.Epoch <= epochBefore {
+		t.Fatalf("absorb response %+v (epoch before %d)", ar, epochBefore)
+	}
+
+	seq, err := sketch.NewL0(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq.ProcessBatch(pts)
+	want, err := seq.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := mustJSON[QueryResponse](t, mustGetA(t, ts.URL+"/query"), http.StatusOK)
+	if after.Estimate != want.Estimate {
+		t.Fatalf("absorbed estimate %g, sequential full-stream %g", after.Estimate, want.Estimate)
+	}
+
+	// Replaying the same envelope is a no-op on the estimate.
+	resp, err = http.Post(ts.URL+"/sketch", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustJSON[AbsorbResponse](t, resp, http.StatusOK)
+	again := mustJSON[QueryResponse](t, mustGetA(t, ts.URL+"/query"), http.StatusOK)
+	if again.Estimate != after.Estimate {
+		t.Fatalf("re-absorb changed the estimate %g → %g", after.Estimate, again.Estimate)
+	}
+
+	st := mustJSON[StatsResponse](t, mustGetA(t, ts.URL+"/stats"), http.StatusOK)
+	if st.SketchAbsorbs != 2 {
+		t.Fatalf("sketch_absorbs %d, want 2", st.SketchAbsorbs)
+	}
+
+	// Garbage is a 400; an incompatible envelope (different α) is a 422.
+	resp, err = http.Post(ts.URL+"/sketch", "application/octet-stream", bytes.NewReader([]byte("not a sketch")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage absorb status %d, want 400", resp.StatusCode)
+	}
+	badOpts := opts
+	badOpts.Alpha = 2
+	mismatched, err := sketch.NewL0(badOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatched.ProcessBatch(pts[:10])
+	badBlob, err := mismatched.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/sketch", "application/octet-stream", bytes.NewReader(badBlob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("mismatched absorb status %d, want 422", resp.StatusCode)
+	}
+	final := mustJSON[QueryResponse](t, mustGetA(t, ts.URL+"/query"), http.StatusOK)
+	if final.Estimate != after.Estimate {
+		t.Fatalf("rejected absorbs moved the estimate %g → %g", after.Estimate, final.Estimate)
+	}
+}
+
+func mustGetA(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}

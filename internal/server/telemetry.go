@@ -98,6 +98,8 @@ func (s *Server) initTelemetry() {
 		func() float64 { return float64(s.watchChanged.Load()) })
 	counter("watch_timeouts_total", "/watch answers that timed out unchanged.",
 		func() float64 { return float64(s.watchTimeouts.Load()) })
+	counter("sketch_absorbs_total", "POST /sketch envelopes folded into the engine (read repair).",
+		func() float64 { return float64(s.sketchAbsorbs.Load()) })
 	telemetry.RegisterBuildInfo(r, "daemon")
 
 	stage := func(name string) *telemetry.Histogram {

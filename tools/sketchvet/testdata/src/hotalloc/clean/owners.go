@@ -1,0 +1,38 @@
+package clean
+
+// maxOwners mirrors the fixed replica bound the real placement uses for
+// stack buffers on the ingest hot path.
+const maxOwners = 8
+
+// Owners exercises the append-to-caller-buffer idiom the replica
+// placement relies on: truncating and appending into a parameter slice
+// grows caller-owned storage, so the hot path stays allocation-free when
+// the caller passes a stack buffer of capacity maxOwners.
+//
+//sketch:hotpath
+func Owners(cell uint64, n int, buf []int) []int {
+	buf = append(buf[:0], int(cell%uint64(n)))
+	for len(buf) < n {
+		buf = append(buf, pick(cell, buf))
+	}
+	return buf
+}
+
+// Member uses a fixed-size stack array — a composite-free local that
+// never escapes — to call Owners without heap growth.
+//
+//sketch:hotpath
+func Member(cell uint64, n, i int) bool {
+	var ob [maxOwners]int
+	for _, o := range Owners(cell, n, ob[:0]) {
+		if o == i {
+			return true
+		}
+	}
+	return false
+}
+
+// pick is hot transitively and clean.
+func pick(cell uint64, taken []int) int {
+	return int(cell>>1) % (len(taken) + 1)
+}
